@@ -1,0 +1,68 @@
+"""Ablation: accelerator clock scaling (the Section 8 outlook).
+
+The prototype runs at 200 MHz on last-generation FPGAs; HAWK projects
+32 GB/s for a 1 GHz ASIC. Sweeping the clock through the Figure 14 model
+shows the balance the paper is built on: past ~375 MHz the *storage
+supply* (internal bandwidth x compression ratio), not the accelerator,
+binds the system — the quantitative version of the conclusion's claim
+that near-storage designs matter more as storage outpaces computation.
+"""
+
+import pytest
+
+from repro.compression import LZAHCompressor, compression_ratio
+from repro.datasets.synthetic import generator_for
+from repro.hw.perf import EngineThroughputModel
+from repro.params import CLOCK_HZ, PipelineParams
+from repro.system.report import render_table
+
+CLOCKS_MHZ = (100, 200, 400, 800)
+
+
+def _sweep():
+    lines = generator_for("BGL2").generate(2500)
+    text = b"".join(l + b"\n" for l in lines)
+    ratio = compression_ratio(LZAHCompressor(), text)
+    rows = {}
+    for mhz in CLOCKS_MHZ:
+        clock = mhz * 1_000_000
+        model = EngineThroughputModel(
+            params=PipelineParams(clock_hz=clock),
+            decompressor_bytes_per_sec=16 * clock,
+        )
+        result = model.evaluate("BGL2", lines, ratio)
+        rows[mhz] = result
+    return ratio, rows
+
+
+def test_ablate_clock_scaling(benchmark, capsys):
+    ratio, rows = benchmark.pedantic(_sweep, iterations=1, rounds=1)
+    table = [
+        [
+            f"{mhz} MHz",
+            round(rows[mhz].effective_bytes_per_sec / 1e9, 2),
+            round(rows[mhz].pipeline_capability / 1e9, 2),
+            round(rows[mhz].storage_supply / 1e9, 2),
+            rows[mhz].bound_by,
+        ]
+        for mhz in CLOCKS_MHZ
+    ]
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                f"Ablation: accelerator clock (BGL2, LZAH {ratio:.2f}x)",
+                ["Clock", "Effective GB/s", "Pipelines", "Storage", "Bound"],
+                table,
+            )
+        )
+    # at the prototype's 200 MHz the accelerator side binds
+    assert rows[200].bound_by in ("filter", "decompressor")
+    # doubling the clock flips the system to storage-bound: buying a
+    # faster accelerator stops paying without faster storage/compression
+    assert rows[400].bound_by == "storage"
+    assert rows[800].bound_by == "storage"
+    assert rows[800].effective_bytes_per_sec == rows[400].effective_bytes_per_sec
+    # effective throughput is monotone non-decreasing in clock
+    values = [rows[mhz].effective_bytes_per_sec for mhz in CLOCKS_MHZ]
+    assert values == sorted(values)

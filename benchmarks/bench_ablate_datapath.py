@@ -1,0 +1,100 @@
+"""Ablation: datapath width (Section 4.1's design-space exploration).
+
+The paper chose a 16-byte datapath after finding 8 bytes "too slow,
+requiring too many pipelines" and 32 bytes of "limited benefit due to
+too many padding bits". The cycle model reproduces both findings: going
+8 -> 16 nearly doubles per-pipeline throughput, while 16 -> 32 adds only
+a few percent for double the filter resources, because padding dominates
+the wider tokenized stream.
+"""
+
+import pytest
+
+from repro.hw.perf import PipelineCycleModel, measure_tokenized_stats
+from repro.hw.resources import DECOMPRESSOR, HASH_FILTER, TOKENIZER
+from repro.params import PipelineParams
+from repro.system.report import render_table
+
+#: width -> tokenizer lanes that sustain it at 2 B/cycle each
+WIDTHS = {8: 4, 16: 8, 32: 16}
+
+
+def _estimated_kluts(width: int, tokenizers: int) -> float:
+    """Pipeline area estimate: width-proportional decompressor and
+    filters plus per-lane tokenizers (from the Table 2 figures)."""
+    scale = width / 16
+    return (
+        DECOMPRESSOR.luts * scale
+        + tokenizers * TOKENIZER.luts
+        + 2 * HASH_FILTER.luts * scale
+    ) / 1e3
+
+
+def _sweep(lines):
+    rows = {}
+    for width, tokenizers in WIDTHS.items():
+        params = PipelineParams(datapath_bytes=width, tokenizers=tokenizers)
+        count = PipelineCycleModel(params).count_cycles(lines)
+        stats = measure_tokenized_stats(lines, datapath_bytes=width)
+        rows[width] = {
+            "gbps": count.throughput_bytes_per_sec / 1e9,
+            "kluts": _estimated_kluts(width, tokenizers),
+            "useful": stats.useful_fraction,
+        }
+    return rows
+
+
+def test_ablate_datapath_width(benchmark, corpora, capsys):
+    lines = corpora["Liberty2"][:3000]
+    rows = benchmark.pedantic(_sweep, args=(lines,), iterations=1, rounds=1)
+    table = [
+        [
+            f"{width} B",
+            round(rows[width]["gbps"], 2),
+            round(rows[width]["kluts"], 1),
+            round(rows[width]["gbps"] / rows[width]["kluts"], 4),
+            f"{100 * rows[width]['useful']:.0f}%",
+        ]
+        for width in WIDTHS
+    ]
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                "Ablation: datapath width (per pipeline)",
+                ["Width", "GB/s", "KLUT", "GB/s/KLUT", "Useful bits"],
+                table,
+            )
+        )
+    # 8 -> 16 B: near-linear scaling (the narrow bus is the bottleneck)
+    assert rows[16]["gbps"] > 1.7 * rows[8]["gbps"]
+    # 16 -> 32 B: padding eats the gain (the paper's 'limited benefits')
+    assert rows[32]["gbps"] < 1.15 * rows[16]["gbps"]
+    # so the wide datapath is strictly worse per chip resource
+    eff = {w: rows[w]["gbps"] / rows[w]["kluts"] for w in WIDTHS}
+    assert eff[16] > 1.5 * eff[32]
+    # and padding grows with width
+    assert rows[8]["useful"] > rows[16]["useful"] > rows[32]["useful"]
+
+
+def test_hash_filter_replication(benchmark, corpora, capsys):
+    """Section 7.4.1: one hash filter cannot absorb the ~2x amplification."""
+
+    def sweep():
+        lines = corpora["Liberty2"][:2000]
+        out = {}
+        for filters in (1, 2, 4):
+            params = PipelineParams(hash_filters=filters)
+            count = PipelineCycleModel(params).count_cycles(lines)
+            out[filters] = count.throughput_bytes_per_sec / 1e9
+        return out
+
+    rates = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    with capsys.disabled():
+        print(
+            f"\n  hash filters per pipeline: 1 -> {rates[1]:.2f} GB/s, "
+            f"2 -> {rates[2]:.2f}, 4 -> {rates[4]:.2f}"
+        )
+    # two filters recover most of the amplification loss; four add little
+    assert rates[2] > 1.4 * rates[1]
+    assert rates[4] < 1.25 * rates[2]

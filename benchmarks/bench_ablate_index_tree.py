@@ -1,0 +1,100 @@
+"""Ablation: linked list of trees vs naive index-node list (Section 6.1).
+
+The paper's arithmetic: a 100 microsecond device sustains ~10,000
+latency-bound node visits per second, so saturating 4 GB/s needs >100
+data-page addresses per visit. A naive list gets there only with huge
+index nodes, whose partially-filled write buffers blow up host memory;
+the height-two tree gets 256 addresses per hop from 16-entry buffers.
+This bench measures both sides: addresses-per-hop (performance) and
+ingest buffer footprint (memory).
+"""
+
+import pytest
+
+from repro.index.inverted import InvertedIndex
+from repro.params import PAGE_BYTES, IndexParams, StorageParams
+from repro.storage.flash import FlashArray
+from repro.system.report import render_table
+
+#: The paper's arithmetic inputs.
+LATENCY_S = 100e-6
+TARGET_BANDWIDTH = 4e9
+
+
+def _addresses_per_hop_needed():
+    visits_per_s = 1 / LATENCY_S
+    pages_per_s = TARGET_BANDWIDTH / PAGE_BYTES
+    return pages_per_s / visits_per_s
+
+
+def test_ablate_paper_arithmetic(benchmark, capsys):
+    needed = benchmark.pedantic(_addresses_per_hop_needed, iterations=1, rounds=1)
+    tree = IndexParams()
+    with capsys.disabled():
+        print(
+            f"\n  saturating {TARGET_BANDWIDTH / 1e9:.0f} GB/s at "
+            f"{LATENCY_S * 1e6:.0f} us needs >{needed:.0f} page addresses "
+            f"per hop; the tree design delivers "
+            f"{tree.addrs_per_root_visit} from {tree.memory_buffer_addrs}-entry buffers"
+        )
+    assert needed == pytest.approx(97.65625)
+    # the tree clears the bar with margin
+    assert tree.addrs_per_root_visit > 2 * needed
+    # a naive list would need >needed-entry nodes, i.e. >6x the buffer
+    assert needed / tree.memory_buffer_addrs > 6
+
+
+def _ingest_footprint(params, pages=3037, common_tokens=40):
+    flash = FlashArray(StorageParams(capacity_pages=1 << 18))
+    index = InvertedIndex(flash, params=params)
+    # common tokens with long posting lists: the regime Section 6.1
+    # worries about, where every row's write buffer stays partially full
+    tokens = [f"tok{j}".encode() for j in range(common_tokens)]
+    for addr in range(pages):
+        index.index_page(addr, tokens)
+    return index
+
+
+def test_ablate_buffer_memory(benchmark, capsys):
+    def run():
+        tree = _ingest_footprint(IndexParams(memory_buffer_addrs=16))
+        naive = _ingest_footprint(IndexParams(memory_buffer_addrs=128))
+        return tree, naive
+
+    tree, naive = benchmark.pedantic(run, iterations=1, rounds=1)
+    tree_mem = tree.table.memory_footprint_bytes()
+    naive_mem = naive.table.memory_footprint_bytes()
+    with capsys.disabled():
+        print(
+            render_table(
+                "\nAblation: ingest buffer footprint",
+                ["Design", "Buffer entries", "Table memory (B)"],
+                [
+                    ["tree (paper)", 16, tree_mem],
+                    ["naive list", 128, naive_mem],
+                ],
+                col_width=18,
+            )
+        )
+    # same postings, several times the resident buffer memory
+    assert naive_mem > 2 * tree_mem
+
+
+def test_walk_performance_per_hop(benchmark, corpora):
+    """One hop of the tree list really does deliver ~256 addresses."""
+    from repro.index.storetree import NIL, TreeListStore
+
+    flash = FlashArray(StorageParams(capacity_pages=1 << 16))
+    store = TreeListStore(flash, PAGE_BYTES)
+    head = NIL
+    addr = 0
+    for _ in range(4):
+        leaf_ids = []
+        for _ in range(16):
+            leaf_ids.append(store.write_leaf(list(range(addr, addr + 16))))
+            addr += 16
+        head = store.write_root(leaf_ids, next_root=head)
+    store.flush()
+    walk = benchmark(lambda: store.walk(head))
+    assert len(walk.addresses) == 4 * 256
+    assert walk.root_visits == 4

@@ -1,0 +1,69 @@
+"""Cluster scaling: scatter-gather across accelerated devices.
+
+The paper positions MithriLog for cloud/edge fleets; a deployment's
+aggregate bandwidth should scale with device count. This bench shards
+one corpus across 1/2/4/8 devices and measures scan makespan and
+aggregate effective throughput — near-linear until per-shard fixed
+latency dominates.
+"""
+
+import pytest
+
+from repro.core.query import parse_query
+from repro.datasets.synthetic import generator_for
+from repro.system.cluster import MithriLogCluster
+from repro.system.report import render_table
+
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def _run(lines):
+    query = parse_query("session AND opened")
+    rows = {}
+    for shards in SHARD_COUNTS:
+        cluster = MithriLogCluster(num_shards=shards)
+        cluster.ingest(lines)
+        outcome = cluster.scan_all(query)
+        rows[shards] = {
+            "makespan": outcome.elapsed_s,
+            "gbps": outcome.effective_throughput(cluster.original_bytes) / 1e9,
+            "matches": len(outcome.matched_lines),
+        }
+    return rows
+
+
+def test_cluster_scaling(benchmark, capsys):
+    lines = generator_for("Liberty2").generate(12_000)
+    rows = benchmark.pedantic(_run, args=(lines,), iterations=1, rounds=1)
+    table = [
+        [
+            f"{shards} shard(s)",
+            round(rows[shards]["makespan"] * 1e6, 1),
+            round(rows[shards]["gbps"], 2),
+        ]
+        for shards in SHARD_COUNTS
+    ]
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                "Cluster scaling: full-scan makespan vs shard count",
+                ["Deployment", "Makespan (us)", "Aggregate GB/s"],
+                table,
+                col_width=16,
+            )
+        )
+    # identical answers at every scale
+    counts = {rows[s]["matches"] for s in SHARD_COUNTS}
+    assert len(counts) == 1
+    # makespan shrinks monotonically with shard count...
+    times = [rows[s]["makespan"] for s in SHARD_COUNTS]
+    assert times[0] > times[1] > times[2] >= times[3]
+    # ...but sub-linearly: every shard pays the fixed 100 us access
+    # latency, which floors the makespan at laptop corpus scale
+    assert times[0] / times[3] > 1.4
+    assert times[3] > 100e-6
+    # aggregate throughput scales past a single device's 12.8 GB/s ceiling
+    gbps = [rows[s]["gbps"] for s in SHARD_COUNTS]
+    assert gbps == sorted(gbps)
+    assert rows[8]["gbps"] > 12.8

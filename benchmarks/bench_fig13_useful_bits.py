@@ -1,0 +1,56 @@
+"""Figure 13: percentage of useful bits in the tokenized datapath.
+
+Fully measured: tokenize each corpus with the hardware tokenizer rules
+and report the non-padding share of the 16-byte-aligned token stream.
+The paper's observation — "generally, about half of the 16 byte
+tokenized datapath is useful data" — drove the two-hash-filter design;
+the bench checks the same band holds here.
+"""
+
+import pytest
+
+from conftest import DATASETS
+from repro.hw.perf import measure_tokenized_stats
+from repro.system.report import render_table
+
+
+def _measure(corpora):
+    return {name: measure_tokenized_stats(corpora[name]) for name in DATASETS}
+
+
+def test_fig13_useful_bits(benchmark, corpora, capsys):
+    stats = benchmark.pedantic(_measure, args=(corpora,), iterations=1, rounds=1)
+    rows = [
+        [
+            name,
+            f"{100 * stats[name].useful_fraction:.1f}%",
+            round(stats[name].amplification, 2),
+        ]
+        for name in DATASETS
+    ]
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                "Figure 13: useful bits in the tokenized datapath",
+                ["Dataset", "Useful", "Amplification"],
+                rows,
+                col_width=14,
+            )
+        )
+    for name in DATASETS:
+        fraction = stats[name].useful_fraction
+        # the paper's 'about half' band
+        assert 0.35 < fraction < 0.65, name
+        # amplification ~2x justifies two hash filters per pipeline
+        assert 1.5 < stats[name].amplification < 3.0, name
+
+
+def test_tokenizer_throughput(benchmark, corpora):
+    """Micro-benchmark: functional tokenizer word emission rate."""
+    from repro.core.tokenizer import Tokenizer
+
+    tokenizer = Tokenizer()
+    lines = corpora["BGL2"][:300]
+    words = benchmark(lambda: sum(len(tokenizer.tokenize_line(l)) for l in lines))
+    assert words > 0

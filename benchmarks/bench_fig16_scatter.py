@@ -1,0 +1,47 @@
+"""Figure 16: per-query elapsed time, MithriLog vs the Splunk-like engine.
+
+Fully measured with both systems' inverted indexes active, over the same
+workloads. Checked shape: MithriLog wins the large majority of queries;
+negative-term-heavy (full-scan) queries are the slow cluster for the
+software engine, amplifying the gap — the paper's left-edge cluster.
+"""
+
+import pytest
+
+from conftest import DATASETS
+from repro.system.report import render_scatter_summary
+
+
+def test_fig16_scatter(benchmark, end_to_end_comparisons, capsys):
+    comparisons = benchmark.pedantic(
+        lambda: end_to_end_comparisons, iterations=1, rounds=1
+    )
+    with capsys.disabled():
+        print()
+        for name in DATASETS:
+            pairs = [
+                (s.mithrilog_s, s.splunk_s) for s in comparisons[name].samples
+            ]
+            print(render_scatter_summary(f"Figure 16 [{name}]", pairs))
+            print()
+    for name in DATASETS:
+        samples = comparisons[name].samples
+        wins = sum(1 for s in samples if s.mithrilog_s < s.splunk_s)
+        assert wins / len(samples) > 0.7, name
+
+
+def test_fig16_full_scan_queries_hurt_splunk_more(end_to_end_comparisons, benchmark):
+    def gap_ratio():
+        ratios = []
+        for comparison in end_to_end_comparisons.values():
+            scans = [s.speedup for s in comparison.samples if s.full_scan]
+            selective = [s.speedup for s in comparison.samples if not s.full_scan]
+            if scans and selective:
+                mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+                ratios.append(mean(scans) / mean(selective))
+        return ratios
+
+    ratios = benchmark.pedantic(gap_ratio, iterations=1, rounds=1)
+    # where full-scan queries exist, they widen MithriLog's advantage
+    if ratios:
+        assert sum(ratios) / len(ratios) > 1.0

@@ -1,0 +1,94 @@
+"""Flash-management behaviour under the log workload.
+
+The near-storage pitch implicitly assumes log analytics is flash-
+friendly: bulk sequential appends, no data overwrites. The FTL substrate
+quantifies that — the data path writes at unit write amplification, and
+only index-page rewrites (snapshot flushes) generate garbage-collection
+traffic. A hostile random-overwrite workload on the same FTL shows what
+the log workload avoids.
+"""
+
+import pytest
+
+from repro.params import StorageParams
+from repro.storage.device import MithriLogDevice
+from repro.storage.ftl import FlashTranslationLayer, FTLFlashArray
+from repro.storage.page import Page
+from repro.system.mithrilog import MithriLogSystem
+from repro.system.report import render_table
+
+
+def _log_workload_stats(corpora):
+    params = StorageParams(capacity_pages=1 << 14)
+    device = MithriLogDevice(params, flash=FTLFlashArray(params))
+    system = MithriLogSystem(device=device)
+    lines = corpora["Liberty2"][:4000]
+    epochs = [float(l.split()[1]) for l in lines]
+    step = len(lines) // 4
+    for i in range(4):  # periodic snapshot flushes rewrite index pages
+        chunk = slice(i * step, (i + 1) * step if i < 3 else len(lines))
+        system.ingest(lines[chunk], timestamps=epochs[chunk])
+        system.index.flush(timestamp=epochs[chunk][-1])
+    return device.flash.ftl.stats()
+
+
+def _hostile_workload_stats():
+    ftl = FlashTranslationLayer(num_blocks=64, pages_per_block=16, gc_threshold=2)
+    import random
+
+    rng = random.Random(3)
+    capacity = ftl.capacity_pages
+    occupied = capacity * 9 // 10  # high utilisation: GC has little slack
+    for logical in range(occupied):
+        ftl.write(logical, Page(b"fill"))
+    for _ in range(capacity * 4):  # then uniform random overwrites
+        ftl.write(rng.randrange(occupied), Page(b"hot"))
+    return ftl.stats()
+
+
+def test_ftl_log_vs_hostile_workload(benchmark, corpora, capsys):
+    def run():
+        return _log_workload_stats(corpora), _hostile_workload_stats()
+
+    log_stats, hostile_stats = benchmark.pedantic(run, iterations=1, rounds=1)
+    rows = [
+        [
+            "log analytics",
+            log_stats.host_writes,
+            round(log_stats.write_amplification, 3),
+            log_stats.erases,
+        ],
+        [
+            "random overwrite",
+            hostile_stats.host_writes,
+            round(hostile_stats.write_amplification, 3),
+            hostile_stats.erases,
+        ],
+    ]
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                "FTL behaviour: write amplification by workload",
+                ["Workload", "Host writes", "Write amp.", "Erases"],
+                rows,
+                col_width=18,
+            )
+        )
+    # the log workload is near-ideal for flash
+    assert log_stats.write_amplification < 1.1
+    # the hostile workload pays real GC traffic
+    assert hostile_stats.write_amplification > 1.2
+    assert hostile_stats.erases > 10
+
+
+def test_ftl_write_rate(benchmark):
+    """Micro-benchmark: FTL mapping overhead per page write."""
+    ftl = FlashTranslationLayer(num_blocks=128, pages_per_block=32)
+    payload = Page(b"x" * 512)
+    counter = iter(range(10_000_000))
+
+    def write_one():
+        ftl.write(next(counter) % ftl.capacity_pages, payload)
+
+    benchmark(write_one)

@@ -1,0 +1,84 @@
+"""Section 7.4.3: token filtering vs general-purpose regex matching.
+
+The paper's comparison against HARE is back-of-the-envelope; here it is
+backed by a functional artifact: the from-scratch DFA regex engine
+answers the same queries as the token filter (verified), and the
+published operating points quantify the chip-resource gap — a MithriLog
+pipeline needs ~19 KLUT per GB/s where HARE+LZRW needs ~145.
+"""
+
+import pytest
+
+from repro.baselines.regexdfa import HareModel, RegexMatcher, RegexPredicate, escape_token
+from repro.core.query import parse_query
+from repro.system.report import render_table
+
+
+def test_functional_equivalence_on_token_queries(benchmark, corpora, capsys):
+    """Both engines answer the paper's query class identically."""
+    lines = corpora["Liberty2"][:1500]
+    query = parse_query("session AND opened AND NOT sshd")
+    predicate = RegexPredicate.of(
+        [escape_token(b"session"), escape_token(b"opened")],
+        [escape_token(b"sshd")],
+    )
+
+    def run():
+        token_hits = [query.matches_line(line) for line in lines]
+        regex_hits = [predicate.matches(line) for line in lines]
+        return token_hits, regex_hits
+
+    token_hits, regex_hits = benchmark.pedantic(run, iterations=1, rounds=1)
+    agree = sum(1 for a, b in zip(token_hits, regex_hits) if a == b)
+    with capsys.disabled():
+        print(
+            f"\n  token filter vs regex DFA on {len(lines)} lines: "
+            f"{agree}/{len(lines)} identical verdicts"
+        )
+    assert agree == len(lines)
+
+
+def test_regex_generality_beyond_tokens(benchmark, corpora):
+    """Regexes answer substring/pattern queries the token filter cannot."""
+    lines = corpora["Liberty2"][:1000]
+    matcher = RegexMatcher(r"rhost=\d+\.\d+\.\d+\.\d+")
+    hits = benchmark(lambda: sum(1 for line in lines if matcher.search(line)))
+    token_query = parse_query("rhost=")
+    token_hits = sum(1 for line in lines if token_query.matches_line(line))
+    # the pattern finds the lines; the bare token 'rhost=' never appears
+    # as a standalone token (it is glued to the address)
+    assert hits > 0
+    assert token_hits == 0
+
+
+def test_resource_comparison_table(benchmark, capsys):
+    from repro.hw.resources import PIPELINE
+
+    def build():
+        hare = HareModel()
+        mithrilog_kluts_per_gbps = PIPELINE.luts / 1e3 / 3.2
+        return [
+            ["HARE (FPGA)", 0.4, 55.0, round(hare.kluts_per_gbps, 1)],
+            ["MithriLog pipeline", 3.2, round(PIPELINE.luts / 1e3, 1),
+             round(mithrilog_kluts_per_gbps, 1)],
+        ]
+
+    rows = benchmark.pedantic(build, iterations=1, rounds=1)
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                "Section 7.4.3: filtering approaches (published operating points)",
+                ["Engine", "GB/s", "KLUT", "KLUT/GB/s"],
+                rows,
+                col_width=20,
+            )
+        )
+    assert rows[0][3] / rows[1][3] > 5
+
+
+def test_dfa_matching_speed(benchmark, corpora):
+    """Micro-benchmark: DFA byte-at-a-time matching rate in Python."""
+    matcher = RegexMatcher("(FATAL|panic|error)")
+    blob = b"\n".join(corpora["BGL2"][:300])
+    benchmark(lambda: matcher.search(blob))

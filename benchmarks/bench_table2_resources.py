@@ -1,0 +1,45 @@
+"""Table 2: chip resource utilization of MithriLog on a VC707.
+
+Model-driven: regenerates the published per-module LUT/BRAM rows with
+derived percentages, and checks them against the paper's printed values.
+"""
+
+import pytest
+
+from repro.hw.resources import (
+    PIPELINE,
+    PROTOTYPE_TOTAL,
+    mithrilog_resource_table,
+    pipeline_component_sum,
+)
+
+
+def _build_table():
+    return [report.row() for report in mithrilog_resource_table()]
+
+
+def test_table2_resource_utilization(benchmark, capsys):
+    rows = benchmark.pedantic(_build_table, iterations=1, rounds=1)
+    with capsys.disabled():
+        print()
+        print("Table 2: chip resource utilization on VC707 (LUTs / RAMB36 / RAMB18)")
+        for row in rows:
+            print("  " + row)
+    reports = mithrilog_resource_table()
+    # the paper's printed percentages
+    assert reports[0].lut_fraction == pytest.approx(0.014, abs=0.001)  # decompr
+    assert reports[2].lut_fraction == pytest.approx(0.10, abs=0.005)  # filter
+    assert reports[3].lut_fraction == pytest.approx(0.20, abs=0.005)  # pipeline
+    assert reports[4].lut_fraction == pytest.approx(0.74, abs=0.005)  # total
+    assert reports[4].ramb36_fraction == pytest.approx(0.41, abs=0.01)
+
+
+def test_component_accounting(benchmark, capsys):
+    comp = benchmark.pedantic(pipeline_component_sum, iterations=1, rounds=1)
+    with capsys.disabled():
+        print(
+            f"\n  pipeline components sum to {comp.luts:,} LUTs vs published "
+            f"{PIPELINE.luts:,} (cross-module synthesis optimisation)"
+        )
+    assert 0.75 * comp.luts <= PIPELINE.luts <= 1.25 * comp.luts
+    assert PROTOTYPE_TOTAL.luts >= 3 * PIPELINE.luts

@@ -1,0 +1,61 @@
+"""Table 6: average effective throughput of batched queries (GB/s).
+
+The same measurements as Figure 15, aggregated the way the paper's table
+is: mean GB/s per batch size per system per dataset, plus the average
+improvement row. Checked shape: MithriLog rows are flat and >= ~9 GB/s
+equivalents at this scale; improvement factors are large and grow with
+batch size.
+"""
+
+import pytest
+
+from conftest import DATASETS
+from repro.system.report import render_table
+
+
+def _build_rows(scan_comparisons):
+    rows = []
+    for batch in (1, 2, 8):
+        rows.append(
+            [f"MonetDB{batch}"]
+            + [round(scan_comparisons[n].mean_gbps("MonetDB", batch), 2) for n in DATASETS]
+        )
+        rows.append(
+            [f"MithriLog{batch}"]
+            + [round(scan_comparisons[n].mean_gbps("MithriLog", batch), 2) for n in DATASETS]
+        )
+    rows.append(
+        ["Avg.Improve"]
+        + [f"{scan_comparisons[n].average_improvement():.1f}x" for n in DATASETS]
+    )
+    return rows
+
+
+def test_table6_batched_throughput(benchmark, scan_comparisons, capsys):
+    rows = benchmark.pedantic(
+        _build_rows, args=(scan_comparisons,), iterations=1, rounds=1
+    )
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                "Table 6: average effective throughput of batched queries (GB/s)",
+                ["System"] + list(DATASETS),
+                rows,
+                col_width=13,
+            )
+        )
+    for name in DATASETS:
+        comparison = scan_comparisons[name]
+        # MithriLog's effective throughput is flat across batch sizes
+        m1 = comparison.mean_gbps("MithriLog", 1)
+        m8 = comparison.mean_gbps("MithriLog", 8)
+        assert m8 == pytest.approx(m1, rel=0.2), name
+        # and large: near the accelerator band even at laptop corpus scale
+        assert m1 > 3.0, name
+        # improvement grows with batch size (MonetDB degrades, we don't)
+        improvement_1 = m1 / comparison.mean_gbps("MonetDB", 1)
+        improvement_8 = m8 / comparison.mean_gbps("MonetDB", 8)
+        assert improvement_8 > improvement_1 > 1.5, name
+        # headline: order-of-magnitude average improvement territory
+        assert comparison.average_improvement() > 4.0, name

@@ -1,0 +1,61 @@
+"""Table 7: average performance improvement over the Splunk-like engine.
+
+Computed the way the paper computes it: total execution time for the
+full query set per dataset, software over MithriLog — after the paper's
+generous divide-by-12 hyper-thread amortization is already applied to
+the software side.
+
+Scale note: the paper's 9.9x-352x factors come from multi-GB corpora
+where scan work dominates; at the laptop-scale corpora used here, fixed
+per-query costs (index seeks, pipeline fill) compress the gap on *both*
+sides. The checked shape is therefore: MithriLog wins in total on every
+dataset, and the advantage is largest exactly where the paper says it is
+— on the scan-heavy, negative-term-heavy queries.
+"""
+
+import pytest
+
+from conftest import DATASETS
+from repro.system.report import render_table
+
+
+def _build_rows(end_to_end_comparisons):
+    return [
+        [name, f"{end_to_end_comparisons[name].total_improvement():.1f}x"]
+        for name in DATASETS
+    ]
+
+
+def test_table7_improvement_over_splunk(benchmark, end_to_end_comparisons, capsys):
+    rows = benchmark.pedantic(
+        _build_rows, args=(end_to_end_comparisons,), iterations=1, rounds=1
+    )
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                "Table 7: average improvement over the Splunk-like engine "
+                "(paper: 9.9x / 352x / 201x / 86x)",
+                ["Dataset", "Improvement"],
+                rows,
+                col_width=16,
+            )
+        )
+    for name in DATASETS:
+        comparison = end_to_end_comparisons[name]
+        assert comparison.total_improvement() > 1.3, name
+        # the scan-heavy (negative-term) queries show the big wins
+        scan_heavy = [s for s in comparison.samples if s.full_scan]
+        assert scan_heavy, name
+        mean_speedup = sum(s.speedup for s in scan_heavy) / len(scan_heavy)
+        assert mean_speedup > 4.0, name
+
+
+def test_splunk_query_speed(benchmark, harnesses):
+    """Micro-benchmark: the software engine's per-query execution."""
+    from repro.core.query import parse_query
+
+    harness = harnesses["BGL2"]
+    query = parse_query("KERNEL AND INFO")
+    result = benchmark(lambda: harness.splunk.execute(query))
+    assert result.candidate_lines >= 0

@@ -1,0 +1,57 @@
+"""Table 8: estimated power consumption breakdown of the two platforms.
+
+Model-driven from the paper's measured/published component draws, then
+combined with this run's *measured* Table 6 speedups to derive the
+power-efficiency headline: similar wall power, order-of-magnitude higher
+throughput, hence order-of-magnitude better performance per watt.
+"""
+
+import pytest
+
+from conftest import DATASETS
+from repro.hw.power import efficiency_comparison, mithrilog_power, software_power
+from repro.system.report import render_table
+
+
+def _build_rows():
+    ours, theirs = mithrilog_power(), software_power()
+    return [
+        [label, our_value, their_value]
+        for (label, our_value), (_, their_value) in zip(ours.rows(), theirs.rows())
+    ]
+
+
+def test_table8_power_breakdown(benchmark, capsys):
+    rows = benchmark.pedantic(_build_rows, iterations=1, rounds=1)
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                "Table 8: estimated power breakdown (Watt)",
+                ["Component", "MithriLog", "Software"],
+                rows,
+                col_width=22,
+            )
+        )
+    assert rows[-1][1] == 150
+    assert rows[-1][2] == 170
+
+
+def test_power_efficiency_headline(benchmark, scan_comparisons, capsys):
+    def compute():
+        speedups = [
+            scan_comparisons[name].average_improvement() for name in DATASETS
+        ]
+        mean_speedup = sum(speedups) / len(speedups)
+        return efficiency_comparison(mean_speedup)
+
+    comparison = benchmark.pedantic(compute, iterations=1, rounds=1)
+    with capsys.disabled():
+        print(
+            f"\n  measured mean speedup {comparison.speedup:.1f}x at "
+            f"{comparison.power_ratio:.2f}x the power -> "
+            f"{comparison.efficiency_gain:.1f}x performance/Watt"
+        )
+    assert comparison.power_ratio < 1.0
+    assert comparison.efficiency_gain > comparison.speedup
+    assert comparison.efficiency_gain > 5.0

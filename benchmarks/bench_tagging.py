@@ -1,0 +1,80 @@
+"""Template-ID tagging cost (Section 8's "ongoing effort").
+
+Tagging reuses the filter datapath unchanged — each pass handles up to
+eight templates (the flag-pair budget), so tagging a whole library of T
+templates costs ceil(T/8) wire-speed scans. This bench measures the
+functional tagger's agreement with FT-tree classification and models the
+pass arithmetic for each dataset's extracted library.
+"""
+
+import math
+
+import pytest
+
+from conftest import DATASETS
+from repro.core.tagger import TemplateTagger
+from repro.params import FLAG_PAIRS
+from repro.system.report import render_table
+
+
+def test_tagging_pass_arithmetic(benchmark, fttrees, corpora, capsys):
+    def build():
+        rows = []
+        for name in DATASETS:
+            tree = fttrees[name]
+            tagger = TemplateTagger.from_tree(tree)
+            raw_bytes = sum(len(l) + 1 for l in corpora[name])
+            # each pass is one wire-speed scan of the decompressed data
+            scan_s = raw_bytes / 11.5e9
+            rows.append(
+                [
+                    name,
+                    len(tree.templates),
+                    tagger.num_passes,
+                    round(tagger.num_passes * scan_s * 1e3, 3),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, iterations=1, rounds=1)
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                "Template tagging: passes over the data per library",
+                ["Dataset", "Templates", "Passes", "Modelled ms"],
+                rows,
+                col_width=13,
+            )
+        )
+    for name, templates, passes, _ms in rows:
+        # ceil(T/8) passes, plus the occasional split when a dense batch
+        # fails cuckoo placement and the host re-batches it
+        floor = math.ceil(templates / FLAG_PAIRS)
+        assert floor <= passes <= floor + max(4, floor // 3), name
+
+
+def test_tagging_agreement_with_classification(benchmark, fttrees, corpora):
+    tree = fttrees["BGL2"]
+    tagger = TemplateTagger.from_tree(tree)
+    sample = corpora["BGL2"][:300]
+
+    def agreement():
+        agree = 0
+        for line in sample:
+            expected = tree.classify_line(line)
+            got = tagger.tag_line(line)
+            if got == (expected.template_id if expected else None):
+                agree += 1
+        return agree / len(sample)
+
+    rate = benchmark.pedantic(agreement, iterations=1, rounds=1)
+    assert rate > 0.85
+
+
+def test_tagging_rate(benchmark, fttrees, corpora):
+    """Micro-benchmark: functional tag_line rate on the full library."""
+    tagger = TemplateTagger.from_tree(fttrees["BGL2"])
+    lines = corpora["BGL2"][:50]
+    tagged = benchmark(lambda: [tagger.tag_line(l) for l in lines])
+    assert len(tagged) == 50

@@ -1,0 +1,106 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table and figure of the paper has one bench module; expensive
+artifacts (corpora, ingested systems, comparison runs) are built once per
+session here and shared. Corpus sizes are scaled so relative dataset
+sizes echo Table 1 while a full bench run stays in the minutes range.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import generator_for
+from repro.system.comparison import ComparisonHarness
+from repro.templates.fttree import FTTree, FTTreeParams
+from repro.templates.querygen import build_workload
+
+#: Scaled line counts (relative sizes follow Table 1: BGL2 much smaller).
+CORPUS_LINES = {
+    "BGL2": 4700,
+    "Liberty2": 8000,
+    "Spirit2": 8000,
+    "Thunderbird": 7000,
+}
+
+DATASETS = tuple(sorted(CORPUS_LINES))
+
+
+@pytest.fixture(scope="session")
+def corpora() -> dict[str, list[bytes]]:
+    return {
+        name: generator_for(name).generate(count)
+        for name, count in CORPUS_LINES.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def texts(corpora) -> dict[str, bytes]:
+    return {
+        name: b"".join(line + b"\n" for line in lines)
+        for name, lines in corpora.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def fttrees(corpora) -> dict[str, FTTree]:
+    # depth 10 keeps message keywords in the path; threshold 32 prunes
+    # genuine variable fields (hundreds of variants) without collapsing
+    # template structure (tens of siblings)
+    params = FTTreeParams(max_depth=10, prune_threshold=32, max_doc_frequency=0.9)
+    return {name: FTTree.from_lines(lines, params) for name, lines in corpora.items()}
+
+
+@pytest.fixture(scope="session")
+def workloads(fttrees):
+    """Small-but-faithful Section 7.1 workloads: all three batch sizes."""
+    return {
+        name: build_workload(tree, num_pairs=5, num_eights=3, max_singles=16)
+        for name, tree in fttrees.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def harnesses(corpora) -> dict[str, ComparisonHarness]:
+    return {name: ComparisonHarness(lines) for name, lines in corpora.items()}
+
+
+@pytest.fixture(scope="session")
+def scan_comparisons(harnesses, workloads):
+    """Figure 15 / Table 6 source data, computed once."""
+    return {
+        name: harness.run_scan_comparison(workloads[name])
+        for name, harness in harnesses.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def negative_queries(fttrees):
+    """Section 7.5's negative-term-heavy queries: NOT <common token>.
+
+    No inverted index can narrow these; they force (near-)full scans,
+    which is where MithriLog's advantage over single-threaded software
+    is largest (Figure 16's left-edge cluster).
+    """
+    from repro.core.query import Query, Term
+
+    out = {}
+    for name, tree in fttrees.items():
+        common = [
+            token
+            for token, _count in tree.frequencies.most_common(40)
+            if token not in tree.stopwords
+        ][:2]
+        out[name] = [Query.single(Term(token, negative=True)) for token in common]
+    return out
+
+
+@pytest.fixture(scope="session")
+def end_to_end_comparisons(harnesses, workloads, negative_queries):
+    """Figure 16 / Table 7 source data, computed once."""
+    return {
+        name: harness.run_end_to_end(
+            workloads[name], extra_queries=negative_queries[name]
+        )
+        for name, harness in harnesses.items()
+    }

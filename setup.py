@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has no network and no `wheel` package, so PEP 660
+editable installs (which require bdist_wheel) fail. This shim lets
+``pip install -e .`` fall back to the legacy setuptools develop path.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

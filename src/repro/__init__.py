@@ -1,0 +1,59 @@
+"""MithriLog reproduction: near-storage accelerated log analytics.
+
+A from-scratch Python reproduction of *MithriLog: Near-Storage
+Accelerator for High-Performance Log Analytics* (MICRO 2021): the
+cuckoo-hash token filtering engine, the LZAH log-optimized compression
+algorithm, the in-storage inverted index, FT-tree template queries, a
+simulated flash device standing in for the BlueDBM prototype, and the
+software baselines the paper compares against.
+
+Quick start::
+
+    from repro import MithriLogSystem, parse_query
+    from repro.datasets import generator_for
+
+    system = MithriLogSystem()
+    system.ingest(generator_for("Liberty2").generate(20_000))
+    outcome = system.query(parse_query('"failure" AND NOT "pbs_mom:"'))
+    print(len(outcome.matched_lines), outcome.stats.elapsed_s)
+"""
+
+from repro.core import Query, Term, TokenFilterEngine, parse_query
+from repro.core.tagger import TemplateTagger
+from repro.compression import LZAHCompressor
+from repro.index import InvertedIndex
+from repro.params import PROTOTYPE, SystemParams
+from repro.system import (
+    ComparisonHarness,
+    MithriLogSystem,
+    QueryPlanner,
+    QueryScheduler,
+    StreamingIngestor,
+    load_store,
+    save_store,
+)
+from repro.templates import FTTree, build_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ComparisonHarness",
+    "FTTree",
+    "InvertedIndex",
+    "LZAHCompressor",
+    "MithriLogSystem",
+    "PROTOTYPE",
+    "Query",
+    "QueryPlanner",
+    "QueryScheduler",
+    "StreamingIngestor",
+    "SystemParams",
+    "TemplateTagger",
+    "Term",
+    "TokenFilterEngine",
+    "build_workload",
+    "load_store",
+    "parse_query",
+    "save_store",
+    "__version__",
+]

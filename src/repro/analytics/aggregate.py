@@ -1,0 +1,152 @@
+"""Aggregation over query results.
+
+Section 3: the filtered stream "can be further processed by the host
+software to perform either complex analytics, or to simply display" —
+and what log UIs display first is aggregates: matches over time, top
+hosts, top values of `key=value` fields. This module is that display
+layer, operating on the matched lines a query returns.
+
+Field conventions follow the HPC4/syslog anatomy the datasets use:
+the reporting host is the 4th whitespace field (Figure 1's samples),
+and message parameters appear as ``key=value`` tokens.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.tokenizer import split_tokens
+from repro.datasets.timestamps import extract_epoch
+
+#: HPC4 line anatomy: alert tag, epoch, date, host, ...
+_HOST_FIELD = 3
+
+
+def host_of(line: bytes) -> Optional[bytes]:
+    """The reporting host of an HPC4-style line (None if too short)."""
+    fields = line.split(None, _HOST_FIELD + 1)
+    if len(fields) <= _HOST_FIELD:
+        return None
+    return fields[_HOST_FIELD]
+
+
+def extract_fields(line: bytes) -> dict[bytes, bytes]:
+    """All ``key=value`` tokens of a line (last occurrence wins)."""
+    out: dict[bytes, bytes] = {}
+    for token in split_tokens(line):
+        eq = token.find(b"=")
+        if 0 < eq < len(token) - 1:
+            out[token[:eq]] = token[eq + 1 :]
+    return out
+
+
+@dataclass(frozen=True)
+class TimeSeries:
+    """Matches per fixed time bucket."""
+
+    bucket_s: float
+    start: float
+    counts: tuple[int, ...]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def peak_bucket(self) -> int:
+        """Index of the busiest bucket."""
+        if not self.counts:
+            raise ValueError("empty series")
+        return max(range(len(self.counts)), key=self.counts.__getitem__)
+
+
+@dataclass(frozen=True)
+class AggregateReport:
+    """What a log UI's summary pane shows for one result set."""
+
+    total: int
+    top_hosts: tuple[tuple[bytes, int], ...]
+    top_fields: dict[bytes, tuple[tuple[bytes, int], ...]]
+    series: Optional[TimeSeries]
+
+    def render(self) -> str:
+        """Human-readable summary block."""
+        lines = [f"{self.total:,} matching lines"]
+        if self.top_hosts:
+            hosts = ", ".join(
+                f"{h.decode(errors='replace')} ({c})" for h, c in self.top_hosts
+            )
+            lines.append(f"top hosts: {hosts}")
+        for key, values in self.top_fields.items():
+            rendered = ", ".join(
+                f"{v.decode(errors='replace')} ({c})" for v, c in values
+            )
+            lines.append(f"top {key.decode(errors='replace')}: {rendered}")
+        if self.series is not None and self.series.counts:
+            peak = self.series.peak_bucket()
+            lines.append(
+                f"rate: {len(self.series.counts)} buckets of "
+                f"{self.series.bucket_s:.0f}s, peak {self.series.counts[peak]} "
+                f"at t={self.series.start + peak * self.series.bucket_s:.0f}"
+            )
+        return "\n".join(lines)
+
+
+def matches_over_time(
+    lines: Sequence[bytes], bucket_s: float = 60.0
+) -> Optional[TimeSeries]:
+    """Bucket matched lines by their extracted epochs."""
+    if bucket_s <= 0:
+        raise ValueError("bucket_s must be positive")
+    epochs = [extract_epoch(line) for line in lines]
+    known = [e for e in epochs if e is not None]
+    if not known:
+        return None
+    start = min(known)
+    buckets = int((max(known) - start) // bucket_s) + 1
+    counts = [0] * buckets
+    for epoch in known:
+        counts[int((epoch - start) // bucket_s)] += 1
+    return TimeSeries(bucket_s=bucket_s, start=start, counts=tuple(counts))
+
+
+def aggregate_matches(
+    lines: Sequence[bytes],
+    top_k: int = 5,
+    fields: Sequence[bytes] = (),
+    bucket_s: float = 60.0,
+) -> AggregateReport:
+    """Summarise a result set: totals, top hosts, top field values, rate.
+
+    ``fields`` names the ``key=value`` keys to tabulate; when empty, the
+    report tabulates the keys that actually occur, keeping the ``top_k``
+    most frequent keys.
+    """
+    if top_k <= 0:
+        raise ValueError("top_k must be positive")
+    hosts: Counter = Counter()
+    per_field: dict[bytes, Counter] = {}
+    key_frequency: Counter = Counter()
+    for line in lines:
+        host = host_of(line)
+        if host is not None:
+            hosts[host] += 1
+        extracted = extract_fields(line)
+        key_frequency.update(extracted.keys())
+        for key, value in extracted.items():
+            if fields and key not in fields:
+                continue
+            per_field.setdefault(key, Counter())[value] += 1
+    if not fields:
+        keep = {key for key, _count in key_frequency.most_common(top_k)}
+        per_field = {k: v for k, v in per_field.items() if k in keep}
+    return AggregateReport(
+        total=len(lines),
+        top_hosts=tuple(hosts.most_common(top_k)),
+        top_fields={
+            key: tuple(counter.most_common(top_k))
+            for key, counter in sorted(per_field.items())
+        },
+        series=matches_over_time(lines, bucket_s),
+    )

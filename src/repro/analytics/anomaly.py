@@ -1,0 +1,111 @@
+"""PCA subspace anomaly detection over template count vectors.
+
+The method of Xu et al. [79] ("Detecting large-scale system problems by
+mining console logs"), the paper's reference [79] for higher-order
+analytics: normal system behaviour occupies a low-dimensional subspace of
+the template-count feature space; a window whose count vector has a large
+residual outside that subspace is anomalous.
+
+Implementation: column-standardise the training matrix, take the top-k
+principal directions (by SVD) covering a target variance fraction, and
+score windows by the squared norm of their residual after projection
+(SPE, the Q-statistic). The detection threshold defaults to the classic
+mean + 3 sigma of training scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AnomalyReport:
+    """Scores and verdicts for a batch of windows."""
+
+    scores: np.ndarray
+    threshold: float
+
+    @property
+    def flags(self) -> np.ndarray:
+        return self.scores > self.threshold
+
+    def anomalous_windows(self) -> list[int]:
+        return [int(i) for i in np.nonzero(self.flags)[0]]
+
+
+class PCAAnomalyDetector:
+    """Subspace method: residual energy outside the normal subspace."""
+
+    def __init__(self, variance: float = 0.95) -> None:
+        if not 0 < variance <= 1:
+            raise ValueError("variance must be in (0, 1]")
+        self.variance = variance
+        self._mean: Optional[np.ndarray] = None
+        self._scale: Optional[np.ndarray] = None
+        self._components: Optional[np.ndarray] = None
+        self._train_scores: Optional[np.ndarray] = None
+
+    @property
+    def fitted(self) -> bool:
+        return self._components is not None
+
+    @property
+    def num_components(self) -> int:
+        if self._components is None:
+            raise RuntimeError("detector is not fitted")
+        return self._components.shape[0]
+
+    def _normalise(self, X: np.ndarray) -> np.ndarray:
+        return (X - self._mean) / self._scale
+
+    def fit(self, X: np.ndarray) -> "PCAAnomalyDetector":
+        """Learn the normal subspace from (windows x templates) counts."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] < 2:
+            raise ValueError("need a 2-D matrix with at least two windows")
+        self._mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0] = 1.0  # constant columns carry no signal
+        self._scale = scale
+        Z = self._normalise(X)
+        _u, s, vt = np.linalg.svd(Z, full_matrices=False)
+        energy = s**2
+        total = energy.sum()
+        if total == 0:
+            k = 1  # degenerate: all-identical windows
+        else:
+            cumulative = np.cumsum(energy) / total
+            k = int(np.searchsorted(cumulative, self.variance) + 1)
+        self._components = vt[:k]
+        self._train_scores = self._spe(Z)
+        return self
+
+    def _spe(self, Z: np.ndarray) -> np.ndarray:
+        projected = Z @ self._components.T @ self._components
+        residual = Z - projected
+        return (residual**2).sum(axis=1)
+
+    def scores(self, X: np.ndarray) -> np.ndarray:
+        """Squared prediction error of each window (higher = stranger)."""
+        if not self.fitted:
+            raise RuntimeError("fit() the detector first")
+        X = np.asarray(X, dtype=np.float64)
+        return self._spe(self._normalise(X))
+
+    def threshold(self, sigmas: float = 3.0) -> float:
+        """mean + sigmas x std of the training scores."""
+        if self._train_scores is None:
+            raise RuntimeError("fit() the detector first")
+        return float(
+            self._train_scores.mean() + sigmas * self._train_scores.std()
+        )
+
+    def detect(
+        self, X: np.ndarray, threshold: Optional[float] = None
+    ) -> AnomalyReport:
+        """Score windows and flag those above the threshold."""
+        cut = self.threshold() if threshold is None else threshold
+        return AnomalyReport(scores=self.scores(X), threshold=cut)

@@ -1,0 +1,116 @@
+"""K-means clustering of log windows (the paper's reference [36] style).
+
+Lin et al. cluster logs to group recurring problems; here the same idea
+runs over MithriLog's extracted template-count vectors: windows with
+similar template mixes cluster together, and small clusters point at
+unusual behaviour.
+
+From-scratch k-means with k-means++ seeding, Lloyd iterations and a
+deterministic RNG, plus inertia and a simple silhouette score for
+choosing k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Assignment of windows to clusters."""
+
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+    iterations: int
+
+    @property
+    def k(self) -> int:
+        return self.centers.shape[0]
+
+    def cluster_sizes(self) -> np.ndarray:
+        return np.bincount(self.labels, minlength=self.k)
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialisation."""
+
+    def __init__(self, k: int, max_iter: int = 100, seed: int = 0) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if max_iter <= 0:
+            raise ValueError("max_iter must be positive")
+        self.k = k
+        self.max_iter = max_iter
+        self.seed = seed
+
+    def _init_centers(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n = X.shape[0]
+        centers = [X[rng.integers(n)]]
+        for _ in range(1, self.k):
+            d2 = np.min(
+                ((X[:, None, :] - np.array(centers)[None, :, :]) ** 2).sum(axis=2),
+                axis=1,
+            )
+            total = d2.sum()
+            if total == 0:
+                centers.append(X[rng.integers(n)])
+                continue
+            probs = d2 / total
+            centers.append(X[rng.choice(n, p=probs)])
+        return np.array(centers, dtype=np.float64)
+
+    def fit(self, X: np.ndarray) -> ClusterResult:
+        """Cluster rows of ``X``; deterministic for a fixed seed."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D (windows x features)")
+        if X.shape[0] < self.k:
+            raise ValueError(f"{X.shape[0]} points cannot form {self.k} clusters")
+        rng = np.random.default_rng(self.seed)
+        centers = self._init_centers(X, rng)
+        labels = np.zeros(X.shape[0], dtype=np.int64)
+        for iteration in range(1, self.max_iter + 1):
+            d2 = ((X[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+            new_labels = d2.argmin(axis=1)
+            for j in range(self.k):
+                members = X[new_labels == j]
+                if len(members):
+                    centers[j] = members.mean(axis=0)
+                else:
+                    # re-seed an empty cluster at the farthest point
+                    centers[j] = X[d2.min(axis=1).argmax()]
+            if np.array_equal(new_labels, labels) and iteration > 1:
+                break
+            labels = new_labels
+        inertia = float(
+            ((X - centers[labels]) ** 2).sum()
+        )
+        return ClusterResult(
+            labels=labels, centers=centers, inertia=inertia, iterations=iteration
+        )
+
+
+def silhouette(X: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient (O(n^2); fine for window counts)."""
+    X = np.asarray(X, dtype=np.float64)
+    labels = np.asarray(labels)
+    n = X.shape[0]
+    unique = np.unique(labels)
+    if len(unique) < 2:
+        raise ValueError("silhouette needs at least two clusters")
+    dists = np.sqrt(((X[:, None, :] - X[None, :, :]) ** 2).sum(axis=2))
+    scores = np.zeros(n)
+    for i in range(n):
+        same = labels == labels[i]
+        same[i] = False
+        a = dists[i][same].mean() if same.any() else 0.0
+        b = min(
+            dists[i][labels == other].mean()
+            for other in unique
+            if other != labels[i]
+        )
+        denom = max(a, b)
+        scores[i] = 0.0 if denom == 0 else (b - a) / denom
+    return float(scores.mean())

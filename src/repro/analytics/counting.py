@@ -1,0 +1,87 @@
+"""Template count vectors over time windows.
+
+The standard feature representation for log-based anomaly detection (Xu
+et al. [79], LogAnomaly [41]): bucket the stream into fixed time windows
+and count occurrences of each template id per window. Rows are windows,
+columns are templates; untagged lines get their own final column so
+"unparsed volume" is itself a signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TemplateCountMatrix:
+    """Windows x templates count matrix plus its axes."""
+
+    counts: np.ndarray  # shape (windows, templates + 1); last col = untagged
+    window_starts: np.ndarray  # shape (windows,): window start timestamps
+    window_s: float
+    num_templates: int
+
+    @property
+    def num_windows(self) -> int:
+        return self.counts.shape[0]
+
+    def window_of(self, timestamp: float) -> int:
+        """Index of the window containing ``timestamp``."""
+        if self.num_windows == 0:
+            raise ValueError("empty count matrix")
+        first = float(self.window_starts[0])
+        index = int((timestamp - first) // self.window_s)
+        if not 0 <= index < self.num_windows:
+            raise ValueError(f"timestamp {timestamp} outside the counted range")
+        return index
+
+    def volumes(self) -> np.ndarray:
+        """Total lines per window."""
+        return self.counts.sum(axis=1)
+
+
+def count_windows(
+    template_ids: Sequence[Optional[int]],
+    timestamps: Sequence[float],
+    window_s: float,
+    num_templates: int,
+) -> TemplateCountMatrix:
+    """Build the count matrix from per-line tags and timestamps.
+
+    ``template_ids[i]`` is the tag of the line at ``timestamps[i]``
+    (``None`` = unparsed). Windows span the full observed time range;
+    windows with no lines stay all-zero (quiet periods are data too).
+    """
+    if len(template_ids) != len(timestamps):
+        raise ValueError("template_ids and timestamps must align")
+    if window_s <= 0:
+        raise ValueError("window_s must be positive")
+    if num_templates <= 0:
+        raise ValueError("num_templates must be positive")
+    if not timestamps:
+        return TemplateCountMatrix(
+            counts=np.zeros((0, num_templates + 1), dtype=np.int64),
+            window_starts=np.zeros(0),
+            window_s=window_s,
+            num_templates=num_templates,
+        )
+    t0 = min(timestamps)
+    t_last = max(timestamps)
+    windows = int((t_last - t0) // window_s) + 1
+    counts = np.zeros((windows, num_templates + 1), dtype=np.int64)
+    for tid, ts in zip(template_ids, timestamps):
+        w = int((ts - t0) // window_s)
+        col = num_templates if tid is None else tid
+        if not 0 <= col <= num_templates:
+            raise ValueError(f"template id {tid} outside [0, {num_templates})")
+        counts[w, col] += 1
+    starts = t0 + window_s * np.arange(windows)
+    return TemplateCountMatrix(
+        counts=counts,
+        window_starts=starts,
+        window_s=window_s,
+        num_templates=num_templates,
+    )

@@ -1,0 +1,112 @@
+"""Template-sequence (workflow) analysis.
+
+The paper's reference [82] (CloudSeer) monitors cloud workflows from
+interleaved logs: the *order* of template occurrences encodes system
+behaviour, and broken orderings flag trouble even when counts look
+normal. This module provides the matching primitive over MithriLog's
+tagger output: a first-order Markov model of template-to-template
+transitions with Laplace smoothing, scoring streams by per-transition
+surprise (negative mean log-probability).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+#: Column used for untagged lines.
+_UNPARSED = -1
+
+
+@dataclass(frozen=True)
+class SequenceScore:
+    """Surprise of one scored window of the stream."""
+
+    start: int
+    end: int
+    surprise: float
+
+
+class TransitionModel:
+    """First-order Markov model over template ids."""
+
+    def __init__(self, num_templates: int, smoothing: float = 1.0) -> None:
+        if num_templates <= 0:
+            raise ValueError("num_templates must be positive")
+        if smoothing <= 0:
+            raise ValueError("smoothing must be positive")
+        self.num_templates = num_templates
+        self.smoothing = smoothing
+        # state space: templates + the 'unparsed' state
+        self._states = num_templates + 1
+        self._counts = np.zeros((self._states, self._states), dtype=np.float64)
+        self._fitted = False
+
+    def _state(self, tag: Optional[int]) -> int:
+        if tag is None or tag == _UNPARSED:
+            return self._states - 1
+        if not 0 <= tag < self.num_templates:
+            raise ValueError(f"template id {tag} out of range")
+        return tag
+
+    @property
+    def fitted(self) -> bool:
+        return self._fitted
+
+    def fit(self, tags: Sequence[Optional[int]]) -> "TransitionModel":
+        """Count transitions in a (chronological) tag stream."""
+        if len(tags) < 2:
+            raise ValueError("need at least two events to fit transitions")
+        for a, b in zip(tags, tags[1:]):
+            self._counts[self._state(a), self._state(b)] += 1
+        self._fitted = True
+        return self
+
+    def transition_prob(self, a: Optional[int], b: Optional[int]) -> float:
+        """Smoothed P(next = b | current = a)."""
+        if not self._fitted:
+            raise RuntimeError("fit() the model first")
+        row = self._counts[self._state(a)]
+        return (row[self._state(b)] + self.smoothing) / (
+            row.sum() + self.smoothing * self._states
+        )
+
+    def surprise(self, tags: Sequence[Optional[int]]) -> float:
+        """Mean negative log2 probability per transition."""
+        if len(tags) < 2:
+            raise ValueError("need at least two events to score")
+        total = 0.0
+        for a, b in zip(tags, tags[1:]):
+            total -= math.log2(self.transition_prob(a, b))
+        return total / (len(tags) - 1)
+
+    def score_windows(
+        self, tags: Sequence[Optional[int]], window: int
+    ) -> list[SequenceScore]:
+        """Score consecutive windows of the stream."""
+        if window < 2:
+            raise ValueError("window must cover at least two events")
+        scores = []
+        for start in range(0, max(len(tags) - 1, 1), window):
+            chunk = tags[start : start + window + 1]  # overlap one transition
+            if len(chunk) >= 2:
+                scores.append(
+                    SequenceScore(
+                        start=start,
+                        end=min(start + window, len(tags)),
+                        surprise=self.surprise(chunk),
+                    )
+                )
+        return scores
+
+    def most_likely_next(self, tag: Optional[int], top: int = 3) -> list[tuple[int, float]]:
+        """The most probable successors of a template (workflow mining)."""
+        if not self._fitted:
+            raise RuntimeError("fit() the model first")
+        row = self._counts[self._state(tag)]
+        probs = (row + self.smoothing) / (row.sum() + self.smoothing * self._states)
+        order = np.argsort(probs)[::-1][:top]
+        return [(int(i), float(probs[i])) for i in order]

@@ -1,0 +1,26 @@
+"""Software comparators (Sections 7.4.2 and 7.5).
+
+Real software engines — they scan and match actual bytes — paired with
+calibrated analytic cost models that map the work they do onto the
+paper's comparison platform (i7-8700K, 7 GB/s NVMe RAID):
+
+- :mod:`repro.baselines.scandb` — a MonetDB-like single-VARCHAR full-scan
+  column engine (CPU-bound, degrades with query term count),
+- :mod:`repro.baselines.splunklike` — a Splunk-like indexed search engine
+  (single thread per query, ÷12 hyper-thread amortization as in the
+  paper's methodology),
+- :mod:`repro.baselines.grep` — a naive scanner used as a correctness
+  oracle everywhere.
+"""
+
+from repro.baselines.grep import grep_lines
+from repro.baselines.scandb import ScanDatabase, ScanDbCostModel
+from repro.baselines.splunklike import SplunkLikeEngine, SplunkCostModel
+
+__all__ = [
+    "ScanDatabase",
+    "ScanDbCostModel",
+    "SplunkCostModel",
+    "SplunkLikeEngine",
+    "grep_lines",
+]

@@ -1,0 +1,22 @@
+"""Naive scan baseline: the correctness oracle.
+
+Evaluates a query's reference semantics against every line. Every other
+engine in this repository — the hardware filter model, the index-assisted
+system, both software baselines — must produce exactly this result set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.query import Query
+
+
+def grep_lines(query: Query, lines: Iterable[bytes]) -> list[bytes]:
+    """All lines matching the query, in input order."""
+    return [line for line in lines if query.matches_line(line)]
+
+
+def grep_indices(query: Query, lines: Sequence[bytes]) -> list[int]:
+    """Indices of matching lines, in input order."""
+    return [i for i, line in enumerate(lines) if query.matches_line(line)]

@@ -1,0 +1,285 @@
+"""Command-line interface.
+
+The workflows a downstream user needs, without writing Python::
+
+    python -m repro generate --dataset Liberty2 --lines 20000 --out my.log
+    python -m repro ingest   --log my.log --store ./store
+    python -m repro query    --store ./store '"Failed" AND NOT "pbs_mom:"'
+    python -m repro templates --log my.log --top 10
+    python -m repro stats    --store ./store
+    python -m repro compress --log my.log
+
+Every command prints a short human-readable report; ``query`` also
+prints matching lines (bounded by ``--limit``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.query import parse_query
+from repro.datasets.loader import read_log_lines
+from repro.datasets.schema import DATASET_SPECS
+from repro.datasets.synthetic import generator_for
+from repro.errors import MithriLogError
+from repro.system.mithrilog import MithriLogSystem
+from repro.system.persistence import load_store, save_store
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    generator = generator_for(args.dataset, seed=args.seed)
+    count = 0
+    with open(args.out, "wb") as handle:
+        for line in generator.iter_lines(args.lines):
+            handle.write(line + b"\n")
+            count += 1
+    print(f"wrote {count:,} {args.dataset}-like lines to {args.out}")
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.datasets.timestamps import extract_epochs
+
+    lines = read_log_lines(args.log)
+    system = MithriLogSystem(seed=args.seed)
+    timestamps = extract_epochs(lines) if args.timestamps else None
+    if args.timestamps and timestamps is None:
+        print("warning: could not extract epochs; ingesting without time index")
+    report = system.ingest(lines, timestamps=timestamps)
+    if timestamps is not None:
+        system.index.flush(timestamp=timestamps[-1])
+        print(f"time index: {timestamps[0]:.0f} .. {timestamps[-1]:.0f}")
+    save_store(system, args.store)
+    print(
+        f"ingested {report.lines:,} lines ({report.original_bytes / 1e6:.2f} MB) "
+        f"into {report.pages_written} pages at "
+        f"{report.compression_ratio:.2f}x compression"
+    )
+    print(f"store saved to {args.store}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    system = load_store(args.store, seed=args.seed)
+    query = parse_query(args.expression)
+    time_range = None
+    if args.since is not None or args.until is not None:
+        time_range = (args.since, args.until)
+    if args.explain:
+        from repro.system.planner import QueryPlanner
+
+        plan = QueryPlanner(system).plan(query)
+        print(f"plan: {'index path' if plan.use_index else 'full scan'}")
+        print(f"  {plan.reason}")
+        print(
+            f"  estimated candidates: {plan.estimated_candidate_pages}/"
+            f"{plan.total_pages} pages "
+            f"({100 * plan.estimated_selectivity:.0f}%)"
+        )
+        print(
+            f"  estimated: index path {plan.estimated_index_path_s * 1e3:.2f} ms, "
+            f"full scan {plan.estimated_scan_s * 1e3:.2f} ms"
+        )
+        return 0
+    outcome = system.query(
+        query,
+        use_index=not args.no_index,
+        time_range=time_range,
+        limit=args.stop_after,
+        newest_first=args.newest_first,
+    )
+    stats = outcome.stats
+    print(
+        f"{len(outcome.matched_lines):,} matching lines "
+        f"({stats.candidate_pages}/{stats.total_pages} pages read, "
+        f"{stats.elapsed_s * 1e3:.2f} ms simulated, "
+        f"{outcome.effective_throughput(system.original_bytes) / 1e9:.1f} GB/s effective)"
+    )
+    if args.aggregate:
+        from repro.analytics.aggregate import aggregate_matches
+
+        print(aggregate_matches(outcome.matched_lines).render())
+        return 0
+    for line in outcome.matched_lines[: args.limit]:
+        print(line.decode(errors="replace"))
+    hidden = len(outcome.matched_lines) - args.limit
+    if hidden > 0:
+        print(f"... {hidden:,} more (raise --limit to see them)")
+    return 0
+
+
+def _cmd_templates(args: argparse.Namespace) -> int:
+    from repro.templates.fttree import FTTree, FTTreeParams
+
+    lines = read_log_lines(args.log)
+    tree = FTTree.from_lines(
+        lines,
+        FTTreeParams(
+            max_depth=args.depth,
+            prune_threshold=args.prune,
+            max_doc_frequency=0.9,
+        ),
+    )
+    print(f"{len(tree.templates)} templates extracted from {len(lines):,} lines")
+    for template in tree.templates[: args.top]:
+        print(f"  {template}")
+        print(f"    query: {tree.template_query(template)}")
+    return 0
+
+
+def _cmd_tag(args: argparse.Namespace) -> int:
+    from repro.core.tagger import TemplateTagger
+    from repro.templates.fttree import FTTree, FTTreeParams
+
+    lines = read_log_lines(args.log)
+    tree = FTTree.from_lines(
+        lines,
+        FTTreeParams(max_depth=10, prune_threshold=32, max_doc_frequency=0.9),
+    )
+    tagger = TemplateTagger.from_tree(tree)
+    histogram = tagger.histogram(lines)
+    tagged = sum(count for tid, count in histogram.items() if tid is not None)
+    print(
+        f"{len(tree.templates)} templates, {tagger.num_passes} accelerator "
+        f"passes, {tagged}/{len(lines)} lines tagged"
+    )
+    by_id = {t.template_id: t for t in tree.templates}
+    ranked = sorted(
+        ((tid, count) for tid, count in histogram.items() if tid is not None),
+        key=lambda item: -item[1],
+    )
+    for tid, count in ranked[: args.top]:
+        print(f"  {count:>7,}  {by_id[tid]}")
+    unparsed = histogram.get(None, 0)
+    if unparsed:
+        print(f"  {unparsed:>7,}  (unparsed)")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    system = load_store(args.store, seed=args.seed)
+    print(f"store: {args.store}")
+    print(f"  lines: {system.total_lines:,}")
+    print(f"  original size: {system.original_bytes / 1e6:.2f} MB")
+    print(f"  data pages: {system.index.total_data_pages}")
+    print(f"  flash pages total: {system.device.flash.pages_written}")
+    print(f"  index memory: {system.index.memory_footprint_bytes() / 1024:.0f} KiB")
+    print(f"  snapshots: {len(system.index.snapshots.snapshots)}")
+    return 0
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    from repro.compression import (
+        GzipCompressor,
+        LZ4LikeCompressor,
+        LZAHCompressor,
+        LZRW1Compressor,
+        SnappyLikeCompressor,
+        compression_ratio,
+    )
+
+    data = Path(args.log).read_bytes()
+    print(f"{args.log}: {len(data) / 1e6:.2f} MB")
+    for codec in (
+        LZAHCompressor(),
+        LZRW1Compressor(),
+        LZ4LikeCompressor(),
+        SnappyLikeCompressor(),
+        GzipCompressor(),
+    ):
+        print(f"  {codec.name:<6} {compression_ratio(codec, data):6.2f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MithriLog reproduction: near-storage log analytics",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="deterministic seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a synthetic HPC4-like log file")
+    p.add_argument("--dataset", choices=sorted(DATASET_SPECS), required=True)
+    p.add_argument("--lines", type=int, required=True)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("ingest", help="ingest a log file into a store directory")
+    p.add_argument("--log", required=True)
+    p.add_argument("--store", required=True)
+    p.add_argument(
+        "--timestamps",
+        action="store_true",
+        help="extract per-line epochs (HPC4 column 2) for time-bounded queries",
+    )
+    p.set_defaults(func=_cmd_ingest)
+
+    p = sub.add_parser("query", help="run a boolean token query against a store")
+    p.add_argument("--store", required=True)
+    p.add_argument("expression", help='e.g. \'"Failed" AND NOT "pbs_mom:"\'')
+    p.add_argument("--no-index", action="store_true", help="force a full scan")
+    p.add_argument("--limit", type=int, default=10)
+    p.add_argument("--since", type=float, help="epoch lower bound (snapshots)")
+    p.add_argument("--until", type=float, help="epoch upper bound (snapshots)")
+    p.add_argument(
+        "--stop-after", type=int,
+        help="cancel the scan after this many matches (top-k)",
+    )
+    p.add_argument(
+        "--newest-first", action="store_true",
+        help="visit pages newest-first (tail exploration)",
+    )
+    p.add_argument(
+        "--aggregate", action="store_true",
+        help="print a summary (top hosts/fields, rate) instead of lines",
+    )
+    p.add_argument(
+        "--explain", action="store_true",
+        help="print the planner's decision instead of executing",
+    )
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("tag", help="tag a log's lines with FT-tree template ids")
+    p.add_argument("--log", required=True)
+    p.add_argument("--top", type=int, default=8)
+    p.set_defaults(func=_cmd_tag)
+
+    p = sub.add_parser("templates", help="extract FT-tree templates from a log")
+    p.add_argument("--log", required=True)
+    p.add_argument("--top", type=int, default=5)
+    p.add_argument("--depth", type=int, default=10)
+    p.add_argument("--prune", type=int, default=32)
+    p.set_defaults(func=_cmd_templates)
+
+    p = sub.add_parser("stats", help="describe a store directory")
+    p.add_argument("--store", required=True)
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("compress", help="Table 5 codec comparison on a log file")
+    p.add_argument("--log", required=True)
+    p.set_defaults(func=_cmd_compress)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except MithriLogError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

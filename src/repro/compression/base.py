@@ -1,0 +1,43 @@
+"""Compressor interface shared by all algorithms in this package."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import CompressionError
+
+
+class Compressor(abc.ABC):
+    """A lossless byte-stream compressor.
+
+    Implementations must satisfy ``decompress(compress(x)) == x`` for all
+    byte strings ``x`` (the property tests enforce this).
+    """
+
+    #: Short display name used in Table 5-style reports.
+    name: str = "base"
+
+    @abc.abstractmethod
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data``; always succeeds (may expand on bad input)."""
+
+    @abc.abstractmethod
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress`; raises
+        :class:`repro.errors.CompressedFormatError` on malformed input."""
+
+
+def compression_ratio(compressor: Compressor, data: bytes) -> float:
+    """Original-size / compressed-size, as reported in Table 5.
+
+    Ratios above 1.0 mean the data shrank. An empty input has ratio 1.0 by
+    convention.
+    """
+    if not data:
+        return 1.0
+    compressed = compressor.compress(data)
+    if not compressed:
+        raise CompressionError(
+            f"{compressor.name} produced empty output for non-empty input"
+        )
+    return len(data) / len(compressed)

@@ -1,0 +1,33 @@
+"""Gzip/DEFLATE baseline (Table 5's strongest-ratio row).
+
+Uses :mod:`zlib` from the standard library — the same DEFLATE algorithm
+gzip wraps, minus the file framing, which the ratio comparison does not
+care about.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.compression.base import Compressor
+from repro.errors import CompressedFormatError
+
+
+class GzipCompressor(Compressor):
+    """DEFLATE at the default compression level, via zlib."""
+
+    name = "Gzip"
+
+    def __init__(self, level: int = 6) -> None:
+        if not 0 <= level <= 9:
+            raise ValueError("zlib level must be in [0, 9]")
+        self.level = level
+
+    def compress(self, data: bytes) -> bytes:
+        return zlib.compress(data, self.level)
+
+    def decompress(self, data: bytes) -> bytes:
+        try:
+            return zlib.decompress(data)
+        except zlib.error as exc:
+            raise CompressedFormatError(f"bad DEFLATE stream: {exc}") from exc

@@ -1,0 +1,141 @@
+"""LZ4 block-format compressor (Table 5 baseline).
+
+The evaluation compares LZAH's compression ratio against LZ4; with no
+network access the real liblz4 is unavailable, so this is a from-scratch
+greedy LZ4 *block format* codec: token bytes with 4-bit literal/match
+length nibbles (15 = extend with 255-run bytes), 2-byte little-endian
+offsets, minimum match of 4, and a literal-only final sequence. The
+format is the documented LZ4 block format; the match finder is a simple
+single-entry hash table over 4-byte sequences, like LZ4's fast mode.
+"""
+
+from __future__ import annotations
+
+from repro.compression.base import Compressor
+from repro.errors import CompressedFormatError
+
+_MIN_MATCH = 4
+_MAX_OFFSET = 0xFFFF
+_HASH_LOG = 16
+#: LZ4's final-sequence rule: the last match must start at least this many
+#: bytes before the end, so the stream always ends with literals.
+_LAST_LITERALS = 5
+
+
+def _hash4(value: int) -> int:
+    return (value * 2654435761) >> (32 - _HASH_LOG) & ((1 << _HASH_LOG) - 1)
+
+
+def _write_length(out: bytearray, length: int) -> None:
+    """Emit the 255-run extension bytes for a nibble that saturated at 15."""
+    length -= 15
+    while length >= 255:
+        out.append(255)
+        length -= 255
+    out.append(length)
+
+
+class LZ4LikeCompressor(Compressor):
+    """Greedy LZ4 block-format encoder/decoder."""
+
+    name = "LZ4"
+
+    def compress(self, data: bytes) -> bytes:
+        n = len(data)
+        out = bytearray()
+        table = [-1] * (1 << _HASH_LOG)
+        anchor = 0
+        pos = 0
+        limit = n - _LAST_LITERALS - _MIN_MATCH
+        while pos <= limit:
+            seq = int.from_bytes(data[pos : pos + 4], "little")
+            h = _hash4(seq)
+            candidate = table[h]
+            table[h] = pos
+            if (
+                candidate >= 0
+                and pos - candidate <= _MAX_OFFSET
+                and data[candidate : candidate + 4] == data[pos : pos + 4]
+            ):
+                match_len = 4
+                max_len = n - _LAST_LITERALS - pos
+                while (
+                    match_len < max_len
+                    and data[candidate + match_len] == data[pos + match_len]
+                ):
+                    match_len += 1
+                self._emit_sequence(
+                    out, data[anchor:pos], pos - candidate, match_len
+                )
+                pos += match_len
+                anchor = pos
+            else:
+                pos += 1
+        # final literal-only sequence
+        literals = data[anchor:]
+        lit_len = len(literals)
+        token = min(lit_len, 15) << 4
+        out.append(token)
+        if lit_len >= 15:
+            _write_length(out, lit_len)
+        out.extend(literals)
+        return bytes(out)
+
+    def _emit_sequence(
+        self, out: bytearray, literals: bytes, offset: int, match_len: int
+    ) -> None:
+        lit_len = len(literals)
+        ml = match_len - _MIN_MATCH
+        token = (min(lit_len, 15) << 4) | min(ml, 15)
+        out.append(token)
+        if lit_len >= 15:
+            _write_length(out, lit_len)
+        out.extend(literals)
+        out.extend(offset.to_bytes(2, "little"))
+        if ml >= 15:
+            _write_length(out, ml)
+
+    def decompress(self, data: bytes) -> bytes:
+        out = bytearray()
+        pos = 0
+        n = len(data)
+        if n == 0:
+            raise CompressedFormatError("empty LZ4 block")
+        while pos < n:
+            token = data[pos]
+            pos += 1
+            lit_len = token >> 4
+            if lit_len == 15:
+                lit_len, pos = self._read_length(data, pos, lit_len)
+            if pos + lit_len > n:
+                raise CompressedFormatError("truncated LZ4 literals")
+            out.extend(data[pos : pos + lit_len])
+            pos += lit_len
+            if pos == n:
+                break  # final literal-only sequence
+            if pos + 2 > n:
+                raise CompressedFormatError("truncated LZ4 offset")
+            offset = int.from_bytes(data[pos : pos + 2], "little")
+            pos += 2
+            if offset == 0 or offset > len(out):
+                raise CompressedFormatError(f"LZ4 offset {offset} out of range")
+            match_len = token & 0x0F
+            if match_len == 15:
+                match_len, pos = self._read_length(data, pos, match_len)
+            match_len += _MIN_MATCH
+            start = len(out) - offset
+            for i in range(match_len):  # overlap-safe byte-wise copy
+                out.append(out[start + i])
+        return bytes(out)
+
+    @staticmethod
+    def _read_length(data: bytes, pos: int, base: int) -> tuple[int, int]:
+        length = base
+        while True:
+            if pos >= len(data):
+                raise CompressedFormatError("truncated LZ4 length run")
+            byte = data[pos]
+            pos += 1
+            length += byte
+            if byte != 255:
+                return length, pos

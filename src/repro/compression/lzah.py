@@ -1,0 +1,207 @@
+"""LZAH — LZ Aligned Header (Section 5).
+
+The paper's hardware-optimized LZRW1 derivative. Three properties define
+it, and all three are kept here:
+
+1. **Word alignment.** A fixed window of ``word_bytes`` (16 in the
+   prototype) slides across the input in word-aligned steps, so the
+   hardware needs no variable-amount shifters. A window that contains a
+   newline is cut just after it and the next window starts at the
+   following character, re-aligning recurring per-line patterns (Figure 8).
+   The cut word is zero-padded before hashing/storing so characters of the
+   next line never pollute the hash table.
+
+2. **Dictionary of whole words.** Like LZRW1, a hash table remembers the
+   most recent occurrence of each word. A re-occurrence emits a 1-bit
+   header plus the table index; a miss emits a 0-bit header plus the
+   literal word.
+
+3. **Aligned header chunks.** 128 header bits are gathered into one
+   16-byte header word followed by the 128 payloads, and chunks are padded
+   to word boundaries (Figure 9), so the decoder parses headers without
+   shifting. Each page's stream is self-contained: the hash table resets
+   per page, which is what lets storage pages decompress independently.
+
+Stream layout produced by :meth:`LZAHCompressor.compress` (one page):
+
+``u32 uncompressed_len | u32 num_pairs | chunk*``
+
+where each chunk is ``header word (word_bytes) | payloads | zero padding
+to word alignment`` and a payload is either a ``u16`` little-endian table
+index (header bit 1) or a zero-padded literal word (header bit 0).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.compression.base import Compressor
+from repro.errors import CompressedFormatError
+from repro.params import LZAHParams
+
+_LEN_HEADER = 8  # u32 uncompressed_len + u32 num_pairs
+_INDEX_BYTES = 2
+
+
+def _pad_to(buffer: bytearray, alignment: int) -> None:
+    remainder = len(buffer) % alignment
+    if remainder:
+        buffer.extend(b"\0" * (alignment - remainder))
+
+
+@dataclass(frozen=True)
+class LZAHStats:
+    """Encoder statistics for one compressed stream."""
+
+    words: int
+    matches: int
+    literals: int
+
+    @property
+    def match_rate(self) -> float:
+        return self.matches / self.words if self.words else 0.0
+
+
+class LZAHCompressor(Compressor):
+    """LZ Aligned Header encoder/decoder."""
+
+    name = "LZAH"
+
+    def __init__(self, params: Optional[LZAHParams] = None) -> None:
+        self.params = params if params is not None else LZAHParams()
+        if self.params.hash_table_slots > 1 << (8 * _INDEX_BYTES):
+            raise ValueError("hash table too large for u16 match indices")
+        self.last_stats: Optional[LZAHStats] = None
+
+    # -- encoding ----------------------------------------------------------
+
+    def _hash(self, word: bytes) -> int:
+        return zlib.crc32(word) & (self.params.hash_table_slots - 1)
+
+    def _window_words(self, data: bytes) -> Iterator[bytes]:
+        """Yield zero-padded window words, cutting each window at a newline
+        (unless newline realignment is ablated away)."""
+        w = self.params.word_bytes
+        realign = self.params.newline_realign
+        pos = 0
+        n = len(data)
+        while pos < n:
+            limit = min(pos + w, n)
+            end = limit
+            if realign:
+                nl = data.find(b"\n", pos, limit)
+                if nl != -1:
+                    end = nl + 1
+            word = data[pos:end]
+            yield word + b"\0" * (w - len(word))
+            pos = end
+
+    def compress(self, data: bytes) -> bytes:
+        p = self.params
+        table: list[Optional[bytes]] = [None] * p.hash_table_slots
+        pairs: list[tuple[bool, bytes]] = []
+        matches = 0
+        for padded in self._window_words(data):
+            slot = self._hash(padded)
+            if table[slot] == padded:
+                matches += 1
+                pairs.append((True, slot.to_bytes(_INDEX_BYTES, "little")))
+            else:
+                table[slot] = padded
+                pairs.append((False, padded))
+        self.last_stats = LZAHStats(
+            words=len(pairs), matches=matches, literals=len(pairs) - matches
+        )
+
+        # chunks are word-aligned within the body; the 8-byte length header
+        # is prepended afterwards so it does not disturb that alignment
+        body = bytearray()
+        for base in range(0, len(pairs), p.pairs_per_chunk):
+            chunk = pairs[base : base + p.pairs_per_chunk]
+            header = 0
+            for i, (is_match, _) in enumerate(chunk):
+                if is_match:
+                    header |= 1 << i
+            body.extend(header.to_bytes(p.pairs_per_chunk // 8, "little"))
+            for _, payload in chunk:
+                body.extend(payload)
+            _pad_to(body, p.word_bytes)
+        return (
+            len(data).to_bytes(4, "little")
+            + len(pairs).to_bytes(4, "little")
+            + bytes(body)
+        )
+
+    # -- decoding ----------------------------------------------------------
+
+    def decompress(self, data: bytes) -> bytes:
+        return b"".join(word for word, _ in self.decompress_words(data))
+
+    def decompress_words(self, data: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """Decode a stream word by word.
+
+        Yields ``(consumed, padded)`` per window word: ``consumed`` is the
+        exact reconstructed byte span (what :meth:`decompress` joins), and
+        ``padded`` is the full zero-padded word the hardware decoder would
+        emit in its "zero-padded words for the tokenizer" configuration.
+        """
+        p = self.params
+        if len(data) < _LEN_HEADER:
+            raise CompressedFormatError("LZAH stream shorter than its header")
+        total_len = int.from_bytes(data[0:4], "little")
+        num_pairs = int.from_bytes(data[4:8], "little")
+        header_bytes = p.pairs_per_chunk // 8
+
+        table: list[Optional[bytes]] = [None] * p.hash_table_slots
+        pos = _LEN_HEADER
+        produced = 0
+        remaining = num_pairs
+        while remaining > 0:
+            if pos + header_bytes > len(data):
+                raise CompressedFormatError("truncated LZAH chunk header")
+            header = int.from_bytes(data[pos : pos + header_bytes], "little")
+            pos += header_bytes
+            in_chunk = min(remaining, p.pairs_per_chunk)
+            for i in range(in_chunk):
+                if header & (1 << i):
+                    if pos + _INDEX_BYTES > len(data):
+                        raise CompressedFormatError("truncated LZAH match index")
+                    slot = int.from_bytes(data[pos : pos + _INDEX_BYTES], "little")
+                    pos += _INDEX_BYTES
+                    if slot >= p.hash_table_slots:
+                        raise CompressedFormatError(
+                            f"LZAH match index {slot} outside table"
+                        )
+                    padded = table[slot]
+                    if padded is None:
+                        raise CompressedFormatError(
+                            f"LZAH match references empty slot {slot}"
+                        )
+                else:
+                    if pos + p.word_bytes > len(data):
+                        raise CompressedFormatError("truncated LZAH literal word")
+                    padded = data[pos : pos + p.word_bytes]
+                    pos += p.word_bytes
+                    table[self._hash(padded)] = padded
+                if p.newline_realign:
+                    nl = padded.find(b"\n")
+                    consumed = padded[: nl + 1] if nl != -1 else padded
+                else:
+                    consumed = padded
+                # the final window may be short without a newline; trim to
+                # the declared uncompressed length
+                if produced + len(consumed) > total_len:
+                    consumed = consumed[: total_len - produced]
+                produced += len(consumed)
+                yield consumed, padded
+            remaining -= in_chunk
+            # skip the chunk's alignment padding
+            tail = (pos - _LEN_HEADER) % p.word_bytes
+            if tail:
+                pos += p.word_bytes - tail
+        if produced != total_len:
+            raise CompressedFormatError(
+                f"LZAH stream declared {total_len} bytes but decoded {produced}"
+            )

@@ -1,0 +1,140 @@
+"""LZRW1 (Ross Williams, 1991).
+
+A faithful Python port of the original algorithm: a 4096-entry hash table
+of recent positions, 3-byte hashing, copy items of 3..16 bytes within a
+4095-byte window, and 16-item groups guarded by a 16-bit control word.
+LZAH (Section 5) is derived from this algorithm, and Table 5 compares
+against it, so the reproduction needs the real thing.
+
+Stream format (as in the original, plus a 1-byte mode flag):
+
+- ``flag`` byte: 0 = compressed, 1 = stored raw (used when compression
+  would expand the data, mirroring the original's FLAG_COPY behaviour).
+- Compressed body: repeated groups of [2-byte little-endian control word,
+  up to 16 items]. Control bit ``i`` (LSB-first) set means item ``i`` is a
+  copy: two bytes ``[high-nibble of offset | (length-3), low byte of
+  offset]``; clear means a literal byte.
+"""
+
+from __future__ import annotations
+
+from repro.compression.base import Compressor
+from repro.errors import CompressedFormatError
+
+_FLAG_COMPRESSED = 0
+_FLAG_RAW = 1
+
+_HASH_SIZE = 4096
+_WINDOW = 4095
+_MIN_MATCH = 3
+_MAX_MATCH = 16
+_ITEMS_PER_GROUP = 16
+
+
+def _hash3(b0: int, b1: int, b2: int) -> int:
+    """The original LZRW1 multiplicative 3-byte hash."""
+    return ((40543 * (((b0 << 4) ^ b1) << 4 ^ b2)) >> 4) & (_HASH_SIZE - 1)
+
+
+class LZRW1Compressor(Compressor):
+    """Faithful LZRW1 encoder/decoder."""
+
+    name = "LZRW1"
+
+    def compress(self, data: bytes) -> bytes:
+        body = self._compress_body(data)
+        if len(body) >= len(data):
+            return bytes([_FLAG_RAW]) + data
+        return bytes([_FLAG_COMPRESSED]) + body
+
+    def _compress_body(self, data: bytes) -> bytes:
+        n = len(data)
+        table = [0] * _HASH_SIZE  # stores position+1; 0 means empty
+        out = bytearray()
+        control = 0
+        control_bits = 0
+        group = bytearray()
+        pos = 0
+
+        def flush_group() -> None:
+            nonlocal control, control_bits
+            out.extend(control.to_bytes(2, "little"))
+            out.extend(group)
+            group.clear()
+            control = 0
+            control_bits = 0
+
+        while pos < n:
+            match_len = 0
+            match_off = 0
+            if pos + _MIN_MATCH <= n:
+                h = _hash3(data[pos], data[pos + 1], data[pos + 2])
+                candidate = table[h] - 1
+                table[h] = pos + 1
+                if candidate >= 0:
+                    offset = pos - candidate
+                    if 0 < offset <= _WINDOW:
+                        limit = min(_MAX_MATCH, n - pos)
+                        length = 0
+                        while (
+                            length < limit
+                            and data[candidate + length] == data[pos + length]
+                        ):
+                            length += 1
+                        if length >= _MIN_MATCH:
+                            match_len = length
+                            match_off = offset
+            if match_len:
+                control |= 1 << control_bits
+                group.append(((match_off & 0xF00) >> 4) | (match_len - _MIN_MATCH))
+                group.append(match_off & 0xFF)
+                pos += match_len
+            else:
+                group.append(data[pos])
+                pos += 1
+            control_bits += 1
+            if control_bits == _ITEMS_PER_GROUP:
+                flush_group()
+        if control_bits:
+            # mark unused trailing items as literals that simply don't exist;
+            # the decoder stops at end of stream
+            flush_group()
+        return bytes(out)
+
+    def decompress(self, data: bytes) -> bytes:
+        if not data:
+            raise CompressedFormatError("empty LZRW1 stream")
+        flag, body = data[0], data[1:]
+        if flag == _FLAG_RAW:
+            return body
+        if flag != _FLAG_COMPRESSED:
+            raise CompressedFormatError(f"unknown LZRW1 flag byte {flag}")
+        out = bytearray()
+        pos = 0
+        n = len(body)
+        while pos < n:
+            if pos + 2 > n:
+                raise CompressedFormatError("truncated LZRW1 control word")
+            control = int.from_bytes(body[pos : pos + 2], "little")
+            pos += 2
+            for bit in range(_ITEMS_PER_GROUP):
+                if pos >= n:
+                    break
+                if control & (1 << bit):
+                    if pos + 2 > n:
+                        raise CompressedFormatError("truncated LZRW1 copy item")
+                    b0, b1 = body[pos], body[pos + 1]
+                    pos += 2
+                    length = (b0 & 0x0F) + _MIN_MATCH
+                    offset = ((b0 & 0xF0) << 4) | b1
+                    if offset == 0 or offset > len(out):
+                        raise CompressedFormatError(
+                            f"LZRW1 copy offset {offset} outside window"
+                        )
+                    start = len(out) - offset
+                    for i in range(length):  # may self-overlap, copy byte-wise
+                        out.append(out[start + i])
+                else:
+                    out.append(body[pos])
+                    pos += 1
+        return bytes(out)

@@ -1,0 +1,183 @@
+"""Snappy block-format codec (Table 4's fourth comparison point).
+
+Table 4 quotes a Snappy FPGA core (1.72 GB/s, 35 KLUT); this is the
+matching software artifact: a from-scratch implementation of the
+documented Snappy *block format* —
+
+- a varint preamble carrying the uncompressed length,
+- tag bytes whose low two bits select the element type:
+  ``00`` literal (length in the high 6 bits, 60-63 escape to 1-4 extra
+  length bytes), ``01`` copy with 11-bit offset and 4-11 byte length,
+  ``10`` copy with 16-bit offset, ``11`` copy with 32-bit offset —
+
+with the same greedy 4-byte-hash match finder the other LZ family
+members here use.
+"""
+
+from __future__ import annotations
+
+from repro.compression.base import Compressor
+from repro.errors import CompressedFormatError
+
+_MIN_MATCH = 4
+_HASH_LOG = 15
+
+
+def _hash4(value: int) -> int:
+    return (value * 0x1E35A7BD) >> (32 - _HASH_LOG) & ((1 << _HASH_LOG) - 1)
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    value = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise CompressedFormatError("truncated snappy varint")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+        if shift > 35:
+            raise CompressedFormatError("snappy varint too long")
+
+
+class SnappyLikeCompressor(Compressor):
+    """Snappy block-format encoder/decoder."""
+
+    name = "Snappy"
+
+    # -- encoding ------------------------------------------------------
+
+    def _emit_literal(self, out: bytearray, literal: bytes) -> None:
+        n = len(literal)
+        if n == 0:
+            return
+        length = n - 1
+        if length < 60:
+            out.append(length << 2)
+        elif length < (1 << 8):
+            out.append(60 << 2)
+            out.append(length)
+        elif length < (1 << 16):
+            out.append(61 << 2)
+            out.extend(length.to_bytes(2, "little"))
+        elif length < (1 << 24):
+            out.append(62 << 2)
+            out.extend(length.to_bytes(3, "little"))
+        else:
+            out.append(63 << 2)
+            out.extend(length.to_bytes(4, "little"))
+        out.extend(literal)
+
+    def _emit_copy(self, out: bytearray, offset: int, length: int) -> None:
+        # split long matches into <=64-byte copies, as real snappy does
+        while length >= 68:
+            self._emit_copy_chunk(out, offset, 64)
+            length -= 64
+        if length > 64:
+            self._emit_copy_chunk(out, offset, length - 60)
+            length = 60
+        self._emit_copy_chunk(out, offset, length)
+
+    def _emit_copy_chunk(self, out: bytearray, offset: int, length: int) -> None:
+        if 4 <= length <= 11 and offset < (1 << 11):
+            out.append(0x01 | ((length - 4) << 2) | ((offset >> 8) << 5))
+            out.append(offset & 0xFF)
+        elif offset < (1 << 16):
+            out.append(0x02 | ((length - 1) << 2))
+            out.extend(offset.to_bytes(2, "little"))
+        else:
+            out.append(0x03 | ((length - 1) << 2))
+            out.extend(offset.to_bytes(4, "little"))
+
+    def compress(self, data: bytes) -> bytes:
+        out = bytearray()
+        _write_varint(out, len(data))
+        n = len(data)
+        table = [-1] * (1 << _HASH_LOG)
+        anchor = 0
+        pos = 0
+        while pos + _MIN_MATCH <= n:
+            seq = int.from_bytes(data[pos : pos + 4], "little")
+            h = _hash4(seq)
+            candidate = table[h]
+            table[h] = pos
+            if (
+                candidate >= 0
+                and data[candidate : candidate + 4] == data[pos : pos + 4]
+            ):
+                match_len = 4
+                while (
+                    pos + match_len < n
+                    and data[candidate + match_len] == data[pos + match_len]
+                ):
+                    match_len += 1
+                self._emit_literal(out, data[anchor:pos])
+                self._emit_copy(out, pos - candidate, match_len)
+                pos += match_len
+                anchor = pos
+            else:
+                pos += 1
+        self._emit_literal(out, data[anchor:])
+        return bytes(out)
+
+    # -- decoding ------------------------------------------------------
+
+    def decompress(self, data: bytes) -> bytes:
+        expected, pos = _read_varint(data, 0)
+        out = bytearray()
+        n = len(data)
+        while pos < n:
+            tag = data[pos]
+            pos += 1
+            kind = tag & 0x03
+            if kind == 0x00:  # literal
+                length = (tag >> 2) + 1
+                if length > 60:
+                    extra = length - 60
+                    if pos + extra > n:
+                        raise CompressedFormatError("truncated literal length")
+                    length = int.from_bytes(data[pos : pos + extra], "little") + 1
+                    pos += extra
+                if pos + length > n:
+                    raise CompressedFormatError("truncated snappy literal")
+                out.extend(data[pos : pos + length])
+                pos += length
+                continue
+            if kind == 0x01:
+                length = ((tag >> 2) & 0x07) + 4
+                if pos >= n:
+                    raise CompressedFormatError("truncated copy1 offset")
+                offset = ((tag >> 5) << 8) | data[pos]
+                pos += 1
+            elif kind == 0x02:
+                length = (tag >> 2) + 1
+                if pos + 2 > n:
+                    raise CompressedFormatError("truncated copy2 offset")
+                offset = int.from_bytes(data[pos : pos + 2], "little")
+                pos += 2
+            else:
+                length = (tag >> 2) + 1
+                if pos + 4 > n:
+                    raise CompressedFormatError("truncated copy4 offset")
+                offset = int.from_bytes(data[pos : pos + 4], "little")
+                pos += 4
+            if offset == 0 or offset > len(out):
+                raise CompressedFormatError(f"snappy offset {offset} out of range")
+            start = len(out) - offset
+            for i in range(length):  # overlap-safe
+                out.append(out[start + i])
+        if len(out) != expected:
+            raise CompressedFormatError(
+                f"snappy stream declared {expected} bytes, decoded {len(out)}"
+            )
+        return bytes(out)

@@ -1,0 +1,34 @@
+"""The token filtering engine — MithriLog's primary contribution (Section 4).
+
+Dataflow (Figure 3): decompressed log text is scattered line-by-line,
+round-robin, across an array of tokenizers; tokens are gathered in the
+same order by cuckoo-hash filters that evaluate them against a compiled
+query; each line yields a keep/drop bit.
+
+Public surface:
+
+- :mod:`repro.core.query` — the union-of-intersections query algebra
+  (Equation 1) with a boolean-expression parser and DNF conversion.
+- :mod:`repro.core.tokenizer` — the hardware tokenizer model (Figure 4).
+- :mod:`repro.core.cuckoo` — the query-encoding cuckoo hash (Figure 5).
+- :mod:`repro.core.hashfilter` — bitmap-based evaluation (Figure 6).
+- :mod:`repro.core.pipeline` — one filter pipeline (Figure 3).
+- :mod:`repro.core.engine` — the multi-pipeline engine with query
+  compilation, concurrent-query support and software fallback.
+"""
+
+from repro.core.engine import EngineResult, TokenFilterEngine
+from repro.core.query import IntersectionSet, Query, Term, parse_query
+from repro.core.tokenizer import Tokenizer, TokenWord, split_tokens
+
+__all__ = [
+    "EngineResult",
+    "IntersectionSet",
+    "Query",
+    "Term",
+    "TokenFilterEngine",
+    "TokenWord",
+    "Tokenizer",
+    "parse_query",
+    "split_tokens",
+]

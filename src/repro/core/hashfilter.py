@@ -1,0 +1,185 @@
+"""Hash filter: bitmap-based query evaluation (Section 4.2.3, Figure 6).
+
+A query — or several queries joined by union — is compiled into a
+:class:`CompiledQuery`: a cuckoo table whose flag pairs encode each
+intersection set, one *query bitmap* per intersection set (bits of the
+rows holding that set's positive terms), and a map from intersection set
+to owning query so concurrent queries get separate verdicts.
+
+Per line, the filter keeps one live bitmap and one violation flag per
+intersection set. Each token is looked up; on a match, valid+negative
+flags mark the set violated, valid+positive flags set the matched row's
+bit. At end of line a set is satisfied iff it is not violated and its
+bitmap equals the query bitmap exactly; a line is kept for a query iff
+any of that query's sets is satisfied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.core.cuckoo import CuckooHashTable
+from repro.core.query import Query
+from repro.core.tokenizer import TokenWord, reassemble_tokens
+from repro.errors import CapacityError
+from repro.params import CuckooParams
+
+
+@dataclass(frozen=True)
+class CompiledQuery:
+    """A union of queries encoded for the hardware filter."""
+
+    table: CuckooHashTable
+    query_bitmaps: tuple[int, ...]
+    iset_to_query: tuple[int, ...]
+    num_queries: int
+
+    def __post_init__(self) -> None:
+        # the table is immutable once compiled, so lookups are cacheable;
+        # log corpora repeat tokens heavily, making this cache very hot
+        object.__setattr__(self, "_lookup_cache", {})
+
+    def cached_lookup(self, token: bytes):
+        cache = self._lookup_cache
+        try:
+            return cache[token]
+        except KeyError:
+            result = self.table.lookup(token)
+            if len(cache) < 1 << 16:
+                cache[token] = result
+            return result
+
+    @property
+    def num_isets(self) -> int:
+        return len(self.query_bitmaps)
+
+    def describe(self) -> str:
+        return (
+            f"CompiledQuery({self.num_queries} queries, {self.num_isets} "
+            f"intersection sets, {self.table.occupied} tokens, load factor "
+            f"{self.table.load_factor:.2f})"
+        )
+
+
+def compile_queries(
+    queries: Sequence[Query],
+    params: Optional[CuckooParams] = None,
+    seed: int = 0,
+) -> CompiledQuery:
+    """Encode one or more queries into a single cuckoo table.
+
+    Multiple queries execute concurrently by joining their intersection
+    sets with unions (Section 4); the per-set ownership map keeps their
+    verdicts separate. Raises :class:`repro.errors.CapacityError` when the
+    combined intersection sets exceed the provisioned flag pairs, and
+    :class:`repro.errors.PlacementError` when cuckoo placement fails.
+    """
+    params = params if params is not None else CuckooParams()
+    total_isets = sum(len(q.intersections) for q in queries)
+    if total_isets == 0:
+        raise CapacityError("no intersection sets to compile")
+    if total_isets > params.flag_pairs:
+        raise CapacityError(
+            f"{total_isets} intersection sets exceed the {params.flag_pairs} "
+            "provisioned flag pairs"
+        )
+    table = CuckooHashTable(params=params, seed=seed)
+    iset_to_query: list[int] = []
+    k = 0
+    for q_index, query in enumerate(queries):
+        for iset in query.intersections:
+            for term in iset.terms:
+                table.add_term(
+                    term.token, k, negative=term.negative, column=term.column
+                )
+            iset_to_query.append(q_index)
+            k += 1
+    bitmaps = [0] * total_isets
+    for row, entry in table.entries():
+        for iset_index, pair in enumerate(entry.flags):
+            if pair.valid and not pair.negative:
+                bitmaps[iset_index] |= 1 << row
+    return CompiledQuery(
+        table=table,
+        query_bitmaps=tuple(bitmaps),
+        iset_to_query=tuple(iset_to_query),
+        num_queries=len(queries),
+    )
+
+
+class LineEvaluator:
+    """Per-line filter state: N live bitmaps plus N violation flags."""
+
+    __slots__ = ("program", "bitmaps", "violated")
+
+    def __init__(self, program: CompiledQuery) -> None:
+        self.program = program
+        self.bitmaps = [0] * program.num_isets
+        self.violated = [False] * program.num_isets
+
+    def feed(self, token: bytes, position: int) -> None:
+        """Process one token at line position ``position``."""
+        hit = self.program.cached_lookup(token)
+        if hit is None:
+            return
+        row, entry = hit
+        if entry.column is not None and position != entry.column:
+            return
+        for iset_index, pair in enumerate(entry.flags):
+            if not pair.valid:
+                continue
+            if pair.negative:
+                self.violated[iset_index] = True
+            else:
+                self.bitmaps[iset_index] |= 1 << row
+
+    def iset_verdicts(self) -> list[bool]:
+        """Satisfaction of each intersection set at end of line."""
+        return [
+            not self.violated[k] and self.bitmaps[k] == self.program.query_bitmaps[k]
+            for k in range(self.program.num_isets)
+        ]
+
+    def query_verdicts(self) -> tuple[bool, ...]:
+        """Keep/drop per concurrent query: OR over its intersection sets."""
+        verdicts = [False] * self.program.num_queries
+        for k, satisfied in enumerate(self.iset_verdicts()):
+            if satisfied:
+                verdicts[self.program.iset_to_query[k]] = True
+        return tuple(verdicts)
+
+
+class HashFilter:
+    """Evaluates token-word streams against a compiled query.
+
+    This is the gather side of a pipeline: it consumes the aligned
+    :class:`repro.core.tokenizer.TokenWord` stream (reassembling multi-word
+    tokens through the overflow path) and emits one verdict tuple per line.
+    """
+
+    def __init__(self, program: CompiledQuery) -> None:
+        self.program = program
+        self.lines_processed = 0
+        self.tokens_processed = 0
+
+    def evaluate_words(self, words: Iterable[TokenWord]) -> tuple[bool, ...]:
+        """Evaluate one line's word stream; returns per-query verdicts."""
+        evaluator = LineEvaluator(self.program)
+        position = 0
+        for token, _last in reassemble_tokens(iter(words)):
+            if token:  # the all-zero word of a token-less line carries nothing
+                evaluator.feed(token, position)
+                self.tokens_processed += 1
+            position += 1
+        self.lines_processed += 1
+        return evaluator.query_verdicts()
+
+    def evaluate_tokens(self, tokens: Sequence[bytes]) -> tuple[bool, ...]:
+        """Evaluate a pre-split token list (software-path convenience)."""
+        evaluator = LineEvaluator(self.program)
+        for position, token in enumerate(tokens):
+            evaluator.feed(token, position)
+        self.lines_processed += 1
+        self.tokens_processed += len(tokens)
+        return evaluator.query_verdicts()

@@ -1,0 +1,86 @@
+"""One token-filter pipeline (Section 4, Figure 3).
+
+A pipeline is: an optional LZAH decompressor feeding a 16-byte datapath,
+a round-robin scatter across eight tokenizer lanes, and a gather into two
+hash filters (tokenizer lanes 0..3 feed filter 0, lanes 4..7 feed filter
+1 in the prototype), preserving line order end to end.
+
+The functional model processes real bytes and produces exactly the
+verdicts the hardware would; the cycle accounting for the same dataflow
+lives in :class:`repro.hw.perf.PipelineCycleModel` and can be queried via
+:meth:`FilterPipeline.count_cycles`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.compression.lzah import LZAHCompressor
+from repro.core.hashfilter import CompiledQuery, HashFilter
+from repro.core.tokenizer import Tokenizer
+from repro.params import PipelineParams
+
+
+@dataclass
+class PipelineResult:
+    """Verdicts for the lines a pipeline processed, in input order."""
+
+    verdicts: list[tuple[bool, ...]]
+    lines: int
+    tokens: int
+
+    def kept_any(self) -> list[bool]:
+        """Per line: did any concurrent query keep it?"""
+        return [any(v) for v in self.verdicts]
+
+
+class FilterPipeline:
+    """Functional model of one filter pipeline."""
+
+    def __init__(
+        self,
+        program: CompiledQuery,
+        params: Optional[PipelineParams] = None,
+        decompressor: Optional[LZAHCompressor] = None,
+    ) -> None:
+        self.params = params if params is not None else PipelineParams()
+        self.program = program
+        self.decompressor = decompressor
+        self.lanes = [
+            Tokenizer(self.params.datapath_bytes) for _ in range(self.params.tokenizers)
+        ]
+        self.filters = [
+            HashFilter(program) for _ in range(self.params.hash_filters)
+        ]
+        self._lanes_per_filter = self.params.tokenizers // self.params.hash_filters
+
+    def _filter_for_lane(self, lane: int) -> HashFilter:
+        return self.filters[lane // self._lanes_per_filter]
+
+    def process_lines(self, lines: Sequence[bytes]) -> PipelineResult:
+        """Scatter lines round-robin across lanes, gather verdicts in order."""
+        verdicts: list[tuple[bool, ...]] = []
+        tokens = 0
+        for index, line in enumerate(lines):
+            lane = index % self.params.tokenizers
+            words = self.lanes[lane].tokenize_line(line)
+            hash_filter = self._filter_for_lane(lane)
+            before = hash_filter.tokens_processed
+            verdicts.append(hash_filter.evaluate_words(words))
+            tokens += hash_filter.tokens_processed - before
+        return PipelineResult(verdicts=verdicts, lines=len(lines), tokens=tokens)
+
+    def process_compressed_page(self, page_payload: bytes) -> PipelineResult:
+        """Decompress one stored page and filter its lines (Figure 3's
+        decompressor hookup). Requires a decompressor to be attached."""
+        if self.decompressor is None:
+            raise ValueError("pipeline has no decompressor attached")
+        text = self.decompressor.decompress(page_payload)
+        return self.process_lines(text.splitlines())
+
+    def count_cycles(self, lines: Sequence[bytes]):
+        """Cycle count of this dataflow on ``lines`` (see repro.hw.perf)."""
+        from repro.hw.perf import PipelineCycleModel
+
+        return PipelineCycleModel(self.params).count_cycles(lines)

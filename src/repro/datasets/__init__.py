@@ -1,0 +1,27 @@
+"""Workload substrate: the HPC4-like log corpora.
+
+The paper evaluates on the HPC4 system logs (Oliner & Stearley [47]):
+BGL2, Liberty2, Spirit2 and Thunderbird — hundreds of millions of lines,
+tens of GB. Those files cannot ship with an offline reproduction, so
+:mod:`repro.datasets.synthetic` generates scaled corpora with the same
+*statistical anatomy*: per-dataset template libraries in the published
+formats, Zipf-skewed template frequencies, per-line variable fields, and
+the cross-line redundancy that drives the compression results.
+
+:mod:`repro.datasets.schema` records the paper's Table 1 statistics;
+:mod:`repro.datasets.loader` turns corpora into page-aligned chunks for
+ingestion.
+"""
+
+from repro.datasets.loader import chunk_lines_into_pages, read_log_lines
+from repro.datasets.schema import DATASET_SPECS, DatasetSpec
+from repro.datasets.synthetic import LogGenerator, generator_for
+
+__all__ = [
+    "DATASET_SPECS",
+    "DatasetSpec",
+    "LogGenerator",
+    "chunk_lines_into_pages",
+    "generator_for",
+    "read_log_lines",
+]

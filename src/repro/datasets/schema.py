@@ -1,0 +1,45 @@
+"""Dataset specifications: the paper's Table 1, plus scaling helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Published statistics of one HPC4 dataset (Table 1)."""
+
+    name: str
+    paper_lines_millions: float
+    paper_size_gb: float
+    paper_templates: int
+
+    @property
+    def paper_lines(self) -> int:
+        return int(self.paper_lines_millions * 1e6)
+
+    @property
+    def paper_bytes(self) -> int:
+        return int(self.paper_size_gb * 1e9)
+
+    @property
+    def avg_line_bytes(self) -> float:
+        """Mean line length implied by Table 1 (incl. newline)."""
+        return self.paper_bytes / self.paper_lines
+
+    def scaled_lines(self, fraction: float) -> int:
+        """Line count for a corpus scaled to ``fraction`` of the paper's."""
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        return max(1, int(self.paper_lines * fraction))
+
+
+#: Table 1, verbatim.
+BGL2 = DatasetSpec("BGL2", paper_lines_millions=4.7, paper_size_gb=0.7, paper_templates=93)
+LIBERTY2 = DatasetSpec("Liberty2", paper_lines_millions=265.5, paper_size_gb=30, paper_templates=197)
+SPIRIT2 = DatasetSpec("Spirit2", paper_lines_millions=272.2, paper_size_gb=38, paper_templates=241)
+THUNDERBIRD = DatasetSpec("Thunderbird", paper_lines_millions=211.2, paper_size_gb=30, paper_templates=125)
+
+DATASET_SPECS: dict[str, DatasetSpec] = {
+    spec.name: spec for spec in (BGL2, LIBERTY2, SPIRIT2, THUNDERBIRD)
+}

@@ -1,0 +1,71 @@
+"""Timestamp extraction from log lines.
+
+The HPC4 logs carry an epoch-seconds column (field 2 of every line, as
+the Figure 1 samples show); syslog-style logs carry textual dates. The
+system's time-bounded queries (Section 6.3) need per-line epochs at
+ingest, so this module centralises the extraction rules — the HPC4
+fast path plus a tolerant fallback — and a batch helper that degrades
+gracefully on unparseable lines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+_MONTHS = {
+    b"Jan": 1, b"Feb": 2, b"Mar": 3, b"Apr": 4, b"May": 5, b"Jun": 6,
+    b"Jul": 7, b"Aug": 8, b"Sep": 9, b"Oct": 10, b"Nov": 11, b"Dec": 12,
+}
+
+
+def extract_epoch(line: bytes) -> Optional[float]:
+    """Best-effort epoch-seconds extraction from one log line.
+
+    Rules, in order:
+
+    1. HPC4 format: the second whitespace field is a plain integer epoch
+       (``- 1117838570 2005.06.03 ...``).
+    2. Any leading field that parses as a plausible epoch (1990-2100
+       range, i.e. ~6.3e8 to ~4.1e9).
+
+    Returns ``None`` when nothing fits; callers decide whether to ingest
+    without time indexing or to reject the line.
+    """
+    fields = line.split(None, 4)
+    if len(fields) >= 2 and fields[1].isdigit():
+        value = int(fields[1])
+        if 6.3e8 <= value <= 4.1e9:
+            return float(value)
+    for field in fields[:3]:
+        if field.isdigit():
+            value = int(field)
+            if 6.3e8 <= value <= 4.1e9:
+                return float(value)
+    return None
+
+
+def extract_epochs(
+    lines: Sequence[bytes], strict: bool = False
+) -> Optional[list[float]]:
+    """Per-line epochs for a batch, or ``None`` when coverage is poor.
+
+    Snapshot-based time bounds need *monotone* timestamps; missing values
+    are interpolated from their neighbours when sparse (<10%). With
+    ``strict`` any missing value returns ``None`` instead.
+    """
+    raw = [extract_epoch(line) for line in lines]
+    missing = sum(1 for value in raw if value is None)
+    if missing == len(raw):
+        return None
+    if strict and missing:
+        return None
+    if missing > len(raw) // 10:
+        return None
+    # fill gaps with the previous (or next) known value
+    filled: list[float] = []
+    last: Optional[float] = next(v for v in raw if v is not None)
+    for value in raw:
+        if value is not None:
+            last = value
+        filled.append(last)
+    return filled

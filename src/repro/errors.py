@@ -1,0 +1,65 @@
+"""Exception hierarchy for the MithriLog reproduction.
+
+All library-raised errors derive from :class:`MithriLogError` so callers can
+catch the whole family with one clause while still being able to distinguish
+the specific failure (query compilation, storage, compression, index).
+"""
+
+from __future__ import annotations
+
+
+class MithriLogError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class QueryError(MithriLogError):
+    """A query is malformed or cannot be represented."""
+
+
+class QueryParseError(QueryError):
+    """The textual query form could not be parsed."""
+
+
+class PlacementError(QueryError):
+    """Cuckoo hash placement failed; the query cannot be offloaded.
+
+    The paper's remedy is falling back to software evaluation
+    (Section 4.2.1); :class:`repro.core.engine.TokenFilterEngine` does this
+    automatically unless configured otherwise.
+    """
+
+
+class CapacityError(QueryError):
+    """The query exceeds fixed hardware provisioning (e.g. more than
+    ``FLAG_PAIRS`` intersection sets, or overflow table exhaustion)."""
+
+
+class StorageError(MithriLogError):
+    """A simulated storage device operation failed."""
+
+
+class PageBoundsError(StorageError):
+    """A page address is outside the device's provisioned capacity."""
+
+
+class PageCorruptionError(StorageError):
+    """A page failed its integrity check on read (fault injection)."""
+
+
+class CompressionError(MithriLogError):
+    """Compression or decompression failed."""
+
+
+class CompressedFormatError(CompressionError):
+    """A compressed stream violates the on-disk format."""
+
+
+class IndexError_(MithriLogError):
+    """Inverted-index operation failed.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class IngestError(MithriLogError):
+    """End-to-end ingestion failed."""

@@ -1,0 +1,36 @@
+"""Hardware modelling substrate.
+
+The FPGA itself is out of reach for a Python reproduction, so this package
+models the three things the paper derives from it:
+
+- :mod:`repro.hw.resources` — LUT/BRAM accounting (Tables 2 and 4, plus the
+  HARE comparison arithmetic of Section 7.4.3),
+- :mod:`repro.hw.perf` — cycle-approximate pipeline throughput (Figure 14),
+- :mod:`repro.hw.power` — component power breakdown (Table 8).
+"""
+
+from repro.hw.power import PowerBreakdown, mithrilog_power, software_power
+from repro.hw.resources import (
+    VC707,
+    CompressionIP,
+    FpgaPart,
+    ModuleResources,
+    ResourceReport,
+    compression_efficiency_table,
+    hare_comparison,
+    mithrilog_resource_table,
+)
+
+__all__ = [
+    "VC707",
+    "CompressionIP",
+    "FpgaPart",
+    "ModuleResources",
+    "PowerBreakdown",
+    "ResourceReport",
+    "compression_efficiency_table",
+    "hare_comparison",
+    "mithrilog_power",
+    "mithrilog_resource_table",
+    "software_power",
+]

@@ -1,0 +1,26 @@
+"""In-storage inverted index (Section 6).
+
+A probabilistic, storage-resident inverted index tuned for the
+accelerator: a small in-memory hash table (two hash functions, 16-address
+buffers, occupancy counters) in front of an in-storage linked list of
+height-two trees (16-ary roots over 16-ary leaves, so each latency-bound
+list hop yields up to 256 data-page addresses).
+
+- :mod:`repro.index.storetree` — node pools and the list-of-trees layout,
+- :mod:`repro.index.hashindex` — the two-hash-function in-memory table,
+- :mod:`repro.index.snapshots` — coarse time-based snapshot indexing,
+- :mod:`repro.index.inverted` — the :class:`InvertedIndex` facade.
+"""
+
+from repro.index.bloom import BloomSystemIndex, PageBloomIndex
+from repro.index.compaction import compact_index
+from repro.index.inverted import InvertedIndex
+from repro.index.snapshots import SnapshotIndex
+
+__all__ = [
+    "BloomSystemIndex",
+    "InvertedIndex",
+    "PageBloomIndex",
+    "SnapshotIndex",
+    "compact_index",
+]

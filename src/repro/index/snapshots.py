@@ -1,0 +1,107 @@
+"""Coarse time-based snapshot index (Section 6.3).
+
+Whenever the number of leaf pages created since the last snapshot exceeds
+a threshold, the in-memory hash table is flushed and the flush event is
+recorded with its timestamp and the data-page watermark at that moment.
+Time-range queries then map to a data-page address range, which bounds
+any token query's candidate set.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One flush event: everything before ``data_page_watermark`` is older
+    than ``timestamp``."""
+
+    timestamp: float
+    data_page_watermark: int
+    leaf_pages_at_flush: int
+
+
+class SnapshotIndex:
+    """Sorted record of flush events supporting time-range lookups."""
+
+    def __init__(self, leaf_page_threshold: int) -> None:
+        if leaf_page_threshold <= 0:
+            raise ValueError("leaf_page_threshold must be positive")
+        self.leaf_page_threshold = leaf_page_threshold
+        self._snapshots: list[Snapshot] = []
+        self._leaf_pages_at_last_flush = 0
+
+    @property
+    def snapshots(self) -> tuple[Snapshot, ...]:
+        return tuple(self._snapshots)
+
+    def should_flush(self, leaf_pages_created: int) -> bool:
+        """True once enough leaf pages accumulated since the last snapshot."""
+        return (
+            leaf_pages_created - self._leaf_pages_at_last_flush
+            >= self.leaf_page_threshold
+        )
+
+    def record_flush(
+        self, timestamp: float, data_page_watermark: int, leaf_pages_created: int
+    ) -> Snapshot:
+        if self._snapshots and timestamp < self._snapshots[-1].timestamp:
+            raise ValueError("snapshot timestamps must be non-decreasing")
+        snap = Snapshot(
+            timestamp=timestamp,
+            data_page_watermark=data_page_watermark,
+            leaf_pages_at_flush=leaf_pages_created,
+        )
+        self._snapshots.append(snap)
+        self._leaf_pages_at_last_flush = leaf_pages_created
+        return snap
+
+    def to_state(self) -> dict:
+        return {
+            "snapshots": [
+                [s.timestamp, s.data_page_watermark, s.leaf_pages_at_flush]
+                for s in self._snapshots
+            ],
+            "leaf_pages_at_last_flush": self._leaf_pages_at_last_flush,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._snapshots = [
+            Snapshot(
+                timestamp=float(t),
+                data_page_watermark=int(w),
+                leaf_pages_at_flush=int(l),
+            )
+            for t, w, l in state["snapshots"]
+        ]
+        self._leaf_pages_at_last_flush = int(state["leaf_pages_at_last_flush"])
+
+    def page_range_for_time(
+        self, start_time: Optional[float], end_time: Optional[float]
+    ) -> tuple[int, Optional[int]]:
+        """Data-page address bounds covering [start_time, end_time].
+
+        Returns ``(first_page, last_page_exclusive)``; ``None`` for the
+        upper bound means "no snapshot bounds it yet" (i.e. up to the
+        current end of the log). The bounds are conservative: they may
+        include extra pages (snapshots are coarse), never exclude valid
+        ones.
+        """
+        times = [s.timestamp for s in self._snapshots]
+        low = 0
+        if start_time is not None:
+            # last snapshot strictly before start_time: data before its
+            # watermark is certainly older than start_time
+            idx = bisect.bisect_left(times, start_time) - 1
+            if idx >= 0:
+                low = self._snapshots[idx].data_page_watermark
+        high: Optional[int] = None
+        if end_time is not None:
+            # first snapshot at/after end_time bounds the range above
+            idx = bisect.bisect_right(times, end_time)
+            if idx < len(self._snapshots):
+                high = self._snapshots[idx].data_page_watermark
+        return low, high

@@ -1,0 +1,124 @@
+"""Bandwidth accounting helpers.
+
+Two small models shared by the storage device and the accelerator:
+
+- :class:`BandwidthMeter` records byte totals against a simulated clock and
+  reports achieved throughput (used to produce the GB/s rows the paper's
+  figures report).
+- :class:`LinkModel` computes the transfer time of a burst on a
+  fixed-bandwidth link with optional per-transfer latency, and serialises
+  overlapping transfers the way a shared PCIe/flash channel would.
+"""
+
+from __future__ import annotations
+
+from repro.sim.clock import SimClock
+
+
+class BandwidthMeter:
+    """Accumulates (bytes, seconds) samples and reports throughput."""
+
+    def __init__(self) -> None:
+        self._bytes = 0
+        self._seconds = 0.0
+        self._samples = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self._bytes
+
+    @property
+    def total_seconds(self) -> float:
+        return self._seconds
+
+    @property
+    def samples(self) -> int:
+        return self._samples
+
+    def record(self, nbytes: int, seconds: float) -> None:
+        """Record that ``nbytes`` took ``seconds`` of (simulated) time."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        self._bytes += nbytes
+        self._seconds += seconds
+        self._samples += 1
+
+    def bytes_per_second(self) -> float:
+        """Achieved throughput; 0.0 when no time has been recorded."""
+        if self._seconds == 0:
+            return 0.0
+        return self._bytes / self._seconds
+
+    def gigabytes_per_second(self) -> float:
+        """Achieved throughput in GB/s (decimal gigabytes, as in the paper)."""
+        return self.bytes_per_second() / 1e9
+
+    def merge(self, other: "BandwidthMeter") -> None:
+        """Fold another meter's samples into this one."""
+        self._bytes += other._bytes
+        self._seconds += other._seconds
+        self._samples += other._samples
+
+    def reset(self) -> None:
+        self._bytes = 0
+        self._seconds = 0.0
+        self._samples = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"BandwidthMeter(bytes={self._bytes}, seconds={self._seconds:.6f}, "
+            f"rate={self.gigabytes_per_second():.3f} GB/s)"
+        )
+
+
+class LinkModel:
+    """A fixed-bandwidth, fixed-latency link that serialises transfers.
+
+    ``transfer`` advances the link's busy horizon: a burst issued at time
+    ``t`` on a link busy until ``b`` starts at ``max(t, b)``, pays
+    ``latency`` once, then streams at ``bandwidth``. The completion time is
+    returned so callers can advance their own clocks.
+    """
+
+    def __init__(self, bandwidth: int, latency_s: float = 0.0) -> None:
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        self.bandwidth = bandwidth
+        self.latency_s = latency_s
+        self._busy_until = 0.0
+        self.meter = BandwidthMeter()
+
+    @property
+    def busy_until(self) -> float:
+        return self._busy_until
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Pure service time of a burst (latency + streaming), no queueing."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.latency_s + nbytes / self.bandwidth
+
+    def transfer(self, nbytes: int, start_time: float) -> float:
+        """Issue a burst at ``start_time``; return its completion time."""
+        begin = max(start_time, self._busy_until)
+        done = begin + self.transfer_seconds(nbytes)
+        self._busy_until = done
+        self.meter.record(nbytes, done - begin)
+        return done
+
+    def transfer_on(self, clock: SimClock, nbytes: int) -> float:
+        """Issue a burst at the clock's current time and advance the clock."""
+        done = self.transfer(nbytes, clock.now)
+        clock.advance_to(done)
+        return done
+
+    def reset(self) -> None:
+        self._busy_until = 0.0
+        self.meter.reset()
+
+    def __repr__(self) -> str:
+        return f"LinkModel(bandwidth={self.bandwidth}, latency={self.latency_s})"

@@ -1,0 +1,84 @@
+"""Minimal ordered event queue for latency modelling.
+
+The storage latency model (Section 6.1's "a 100 microsecond device can only
+visit 10,000 index nodes per second") is expressed by scheduling completion
+events on this queue and advancing a :class:`repro.sim.clock.SimClock` as
+they are drained.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.sim.clock import SimClock
+
+
+@dataclass(order=True)
+class Event:
+    """An event scheduled at a simulated timestamp.
+
+    Ordering is (time, sequence) so simultaneous events dispatch in
+    scheduling order, which keeps runs deterministic.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` driven against a clock."""
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule_at(self, time: float, action: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``action`` to run at absolute simulated ``time``."""
+        if time < self.clock.now:
+            raise ValueError(
+                f"cannot schedule event at {time} before current time {self.clock.now}"
+            )
+        event = Event(time=time, seq=next(self._seq), action=action, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(self, delay: float, action: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule_at(self.clock.now + delay, action, label)
+
+    def step(self) -> Optional[Event]:
+        """Dispatch the next event, advancing the clock to it.
+
+        Returns the dispatched event, or ``None`` if the queue is empty.
+        """
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self.clock.advance_to(event.time)
+        event.action()
+        return event
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Dispatch events until the queue empties (or past ``until``).
+
+        Returns the number of events dispatched. Events scheduled during
+        dispatch are processed in order as usual.
+        """
+        dispatched = 0
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                break
+            self.step()
+            dispatched += 1
+        return dispatched

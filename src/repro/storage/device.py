@@ -1,0 +1,198 @@
+"""The MithriLog storage device.
+
+An SSD with a near-storage accelerator between the flash and the host link
+(Figure 2). Per Section 3, host software configures the device per query,
+then issues page reads which the device can serve in one of three modes:
+
+- ``RAW`` — forward stored pages untouched,
+- ``DECOMPRESS`` — run pages through the decompressor first,
+- ``FILTER`` — decompress and pass lines through the filtering engine,
+  forwarding only surviving lines.
+
+The device is *functional*: plug in a real page decompressor and a real
+line filter. Timing is layered on via an optional pipeline performance
+model (``repro.hw.perf``): a streaming pipeline's elapsed time is set by
+its bottleneck stage, which is exactly the arithmetic behind Figure 14.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.errors import StorageError
+from repro.params import StorageParams
+from repro.sim.clock import SimClock
+from repro.storage.flash import FlashArray
+from repro.storage.host_link import HostLink
+from repro.storage.page import Page
+
+#: Decompresses one stored page payload into text bytes.
+PageDecompressor = Callable[[bytes], bytes]
+
+#: Decides whether one log line (without trailing newline) survives.
+LineFilter = Callable[[bytes], bool]
+
+
+class ReadMode(enum.Enum):
+    """What the device does to pages before DMAing them to the host."""
+
+    RAW = "raw"
+    DECOMPRESS = "decompress"
+    FILTER = "filter"
+
+
+@dataclass
+class DeviceReadResult:
+    """Outcome of one device read request."""
+
+    data: bytes
+    pages_read: int
+    bytes_from_flash: int
+    bytes_decompressed: int
+    bytes_to_host: int
+    lines_seen: int = 0
+    lines_kept: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def selectivity(self) -> float:
+        """Fraction of lines that survived filtering (1.0 when not filtering)."""
+        if self.lines_seen == 0:
+            return 1.0
+        return self.lines_kept / self.lines_seen
+
+
+@dataclass
+class DeviceConfig:
+    """Per-query accelerator configuration (Section 3's command phase)."""
+
+    decompress_page: Optional[PageDecompressor] = None
+    line_filter: Optional[LineFilter] = None
+
+
+class MithriLogDevice:
+    """Near-storage accelerated SSD: flash array + accelerator + host link."""
+
+    def __init__(
+        self,
+        params: Optional[StorageParams] = None,
+        host_link: Optional[HostLink] = None,
+        flash: Optional[FlashArray] = None,
+    ) -> None:
+        self.params = params if params is not None else StorageParams()
+        self.flash = flash if flash is not None else FlashArray(self.params)
+        self.host_link = host_link if host_link is not None else HostLink(
+            bandwidth=self.params.external_bandwidth
+        )
+        self.config = DeviceConfig()
+
+    # -- configuration -------------------------------------------------
+
+    def configure(
+        self,
+        decompress_page: Optional[PageDecompressor] = None,
+        line_filter: Optional[LineFilter] = None,
+    ) -> None:
+        """Program the accelerator for the next query."""
+        self.config = DeviceConfig(
+            decompress_page=decompress_page, line_filter=line_filter
+        )
+
+    # -- writes ----------------------------------------------------------
+
+    def append_pages(self, pages: Sequence[Page]) -> list[int]:
+        """Append pages to flash; returns their addresses (contiguous)."""
+        return [self.flash.append_page(page) for page in pages]
+
+    def write_page(self, address: int, page: Page) -> None:
+        self.flash.write_page(address, page)
+
+    # -- reads -----------------------------------------------------------
+
+    def read(
+        self,
+        addresses: Iterable[int],
+        mode: ReadMode = ReadMode.RAW,
+        clock: Optional[SimClock] = None,
+        stop_after_matches: Optional[int] = None,
+    ) -> DeviceReadResult:
+        """Serve a page-read request in the given mode.
+
+        The returned payload is the concatenation of per-page outputs. In
+        ``FILTER`` mode the number of pages' worth of data returned may be
+        far smaller than requested — host software is aware of this
+        (Section 3) — and ``stop_after_matches`` lets the host cancel the
+        request early once enough matches arrived (top-k exploration).
+        """
+        if stop_after_matches is not None and stop_after_matches <= 0:
+            raise StorageError("stop_after_matches must be positive")
+        if stop_after_matches is not None and mode is not ReadMode.FILTER:
+            raise StorageError("early stop only applies to FILTER reads")
+        start = clock.now if clock is not None else 0.0
+        wanted = list(addresses)
+
+        out_chunks: list[bytes] = []
+        bytes_from_flash = 0
+        bytes_decompressed = 0
+        lines_seen = 0
+        lines_kept = 0
+        pages_read = 0
+
+        if stop_after_matches is None:
+            # one batched request: sequential runs amortise access latency
+            pages = self.flash.read_pages(wanted, clock=clock)
+        else:
+            pages = None  # cancellable path fetches page by page below
+
+        for index, address in enumerate(wanted):
+            if pages is not None:
+                page = pages[index]
+            else:
+                page = self.flash.read_pages([address], clock=clock)[0]
+            pages_read += 1
+            bytes_from_flash += len(page)
+            payload = page.data
+            if mode in (ReadMode.DECOMPRESS, ReadMode.FILTER):
+                if self.config.decompress_page is None:
+                    raise StorageError(
+                        f"{mode.value} read requested but no decompressor configured"
+                    )
+                payload = self.config.decompress_page(payload)
+                bytes_decompressed += len(payload)
+            if mode is ReadMode.FILTER:
+                if self.config.line_filter is None:
+                    raise StorageError(
+                        "filter read requested but no line filter configured"
+                    )
+                kept: list[bytes] = []
+                for line in payload.splitlines():
+                    lines_seen += 1
+                    if self.config.line_filter(line):
+                        lines_kept += 1
+                        kept.append(line)
+                        if (
+                            stop_after_matches is not None
+                            and lines_kept >= stop_after_matches
+                        ):
+                            break
+                payload = b"\n".join(kept) + (b"\n" if kept else b"")
+            out_chunks.append(payload)
+            if stop_after_matches is not None and lines_kept >= stop_after_matches:
+                break
+
+        data = b"".join(out_chunks)
+        if clock is not None:
+            self.host_link.send_to_host(len(data), clock=clock)
+        elapsed = (clock.now - start) if clock is not None else 0.0
+        return DeviceReadResult(
+            data=data,
+            pages_read=pages_read,
+            bytes_from_flash=bytes_from_flash,
+            bytes_decompressed=bytes_decompressed,
+            bytes_to_host=len(data),
+            lines_seen=lines_seen,
+            lines_kept=lines_kept,
+            elapsed_s=elapsed,
+        )

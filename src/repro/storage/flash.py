@@ -1,0 +1,125 @@
+"""Simulated flash array.
+
+Functionally a page-addressed store; behaviourally a device whose reads pay
+``latency_s`` per access and stream at ``internal_bandwidth`` across all
+channels (BlueDBM: four cards x 1.2 GB/s = 4.8 GB/s aggregate).
+
+Timing is optional: callers that only need functional behaviour pass no
+clock and pay nothing; the performance benches drive reads against a
+:class:`repro.sim.clock.SimClock` to obtain paper-style elapsed times.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import PageBoundsError, StorageError
+from repro.params import StorageParams
+from repro.sim.bandwidth import LinkModel
+from repro.sim.clock import SimClock
+from repro.storage.page import Page
+
+
+class FlashArray:
+    """A fixed-capacity array of flash pages with an internal-bandwidth model."""
+
+    def __init__(self, params: Optional[StorageParams] = None) -> None:
+        self.params = params if params is not None else StorageParams()
+        self._pages: dict[int, Page] = {}
+        self._next_free = 0
+        self.internal_link = LinkModel(
+            bandwidth=self.params.internal_bandwidth,
+            latency_s=self.params.latency_s,
+        )
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def capacity_pages(self) -> int:
+        return self.params.capacity_pages
+
+    @property
+    def pages_written(self) -> int:
+        return len(self._pages)
+
+    @property
+    def next_free_address(self) -> int:
+        """Next append address (pages are allocated append-only, like a log)."""
+        return self._next_free
+
+    def _check_address(self, address: int) -> None:
+        if not 0 <= address < self.params.capacity_pages:
+            raise PageBoundsError(
+                f"page address {address} outside capacity {self.params.capacity_pages}"
+            )
+
+    # -- functional API ----------------------------------------------------
+
+    def write_page(self, address: int, page: Page) -> None:
+        """Write a page at an explicit address (index structures use this)."""
+        self._check_address(address)
+        self._pages[address] = page
+        if address >= self._next_free:
+            self._next_free = address + 1
+
+    def append_page(self, page: Page) -> int:
+        """Append a page at the next free address and return that address."""
+        address = self._next_free
+        self._check_address(address)
+        self._pages[address] = page
+        self._next_free = address + 1
+        return address
+
+    def read_page(self, address: int, clock: Optional[SimClock] = None) -> Page:
+        """Read and verify one page; advances ``clock`` by the access time."""
+        self._check_address(address)
+        try:
+            page = self._pages[address]
+        except KeyError:
+            raise StorageError(f"page {address} has never been written") from None
+        if clock is not None:
+            self.internal_link.transfer_on(clock, len(page))
+        page.verify()
+        return page
+
+    def read_pages(
+        self, addresses: Iterable[int], clock: Optional[SimClock] = None
+    ) -> list[Page]:
+        """Read many pages; sequential runs share one latency charge.
+
+        Flash (and NVMe queue depth) amortises latency over large sequential
+        or batched reads, which is exactly the property Section 6.1's index
+        design exploits. Consecutive addresses in the request stream are
+        modelled as one burst: one ``latency_s`` plus streaming time for the
+        whole run.
+        """
+        addrs = list(addresses)
+        pages = []
+        run_bytes = 0
+        prev = None
+        for addr in addrs:
+            self._check_address(addr)
+            if addr not in self._pages:
+                raise StorageError(f"page {addr} has never been written")
+            page = self._pages[addr]
+            page.verify()
+            pages.append(page)
+            if clock is not None:
+                if prev is not None and addr != prev + 1:
+                    self.internal_link.transfer_on(clock, run_bytes)
+                    run_bytes = 0
+                run_bytes += len(page)
+                prev = addr
+        if clock is not None and run_bytes:
+            self.internal_link.transfer_on(clock, run_bytes)
+        return pages
+
+    def corrupt_page(self, address: int, flip_at: int = 0) -> None:
+        """Fault injection: silently corrupt a stored page in place."""
+        self._check_address(address)
+        if address not in self._pages:
+            raise StorageError(f"page {address} has never been written")
+        self._pages[address] = self._pages[address].corrupted(flip_at)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._pages

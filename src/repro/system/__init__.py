@@ -1,0 +1,35 @@
+"""End-to-end system integration.
+
+- :mod:`repro.system.mithrilog` — the :class:`MithriLogSystem` facade:
+  ingest (compress + store + index) and query (index -> near-storage
+  decompress+filter -> host), with the paper's performance accounting.
+- :mod:`repro.system.comparison` — drives identical workloads through
+  MithriLog and the software baselines, producing the evaluation's rows.
+- :mod:`repro.system.report` — text renderers for the tables/figures.
+"""
+
+from repro.system.cluster import MithriLogCluster
+from repro.system.comparison import ComparisonHarness
+from repro.system.mithrilog import IngestReport, MithriLogSystem, QueryOutcome
+from repro.system.persistence import load_store, save_store
+from repro.system.planner import QueryPlan, QueryPlanner
+from repro.system.scheduler import QueryScheduler, ScheduledRun
+from repro.system.streaming import StreamingIngestor
+from repro.system.wal import JournaledMithriLog, WriteAheadLog
+
+__all__ = [
+    "ComparisonHarness",
+    "IngestReport",
+    "JournaledMithriLog",
+    "MithriLogCluster",
+    "MithriLogSystem",
+    "QueryOutcome",
+    "QueryPlan",
+    "QueryPlanner",
+    "QueryScheduler",
+    "ScheduledRun",
+    "StreamingIngestor",
+    "WriteAheadLog",
+    "load_store",
+    "save_store",
+]

@@ -1,0 +1,156 @@
+"""Sharded multi-device deployment.
+
+The paper frames MithriLog for "large-scale system management... in both
+cloud and edge environments" (Sections 1 and 8): deployments hold many
+accelerated SSDs, and log platforms (Splunk indexers, Elasticsearch
+shards) scale by scattering queries across them. This module is that
+layer: a :class:`MithriLogCluster` shards ingest across N independent
+MithriLog devices and answers queries scatter-gather, with the parallel
+makespan being the slowest shard's time.
+
+Sharding is by contiguous batch slices, so each shard stays append-only
+and chronologically ordered — the property the per-shard indexes and
+snapshots rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.query import Query
+from repro.errors import IngestError, QueryError
+from repro.params import SystemParams
+from repro.system.mithrilog import IngestReport, MithriLogSystem, QueryOutcome
+
+
+@dataclass(frozen=True)
+class ClusterIngestReport:
+    """Aggregate of the per-shard ingest reports."""
+
+    shards: tuple[IngestReport, ...]
+
+    @property
+    def lines(self) -> int:
+        return sum(r.lines for r in self.shards)
+
+    @property
+    def original_bytes(self) -> int:
+        return sum(r.original_bytes for r in self.shards)
+
+    @property
+    def compression_ratio(self) -> float:
+        compressed = sum(r.compressed_bytes for r in self.shards)
+        if compressed == 0:
+            return 1.0
+        return self.original_bytes / compressed
+
+    @property
+    def elapsed_s(self) -> float:
+        """Shards ingest in parallel: the slowest paces the batch."""
+        return max((r.elapsed_s for r in self.shards), default=0.0)
+
+
+@dataclass
+class ClusterQueryOutcome:
+    """Scatter-gather query result."""
+
+    per_shard: list[QueryOutcome]
+    matched_lines: list[bytes]
+    per_query_counts: list[int]
+
+    @property
+    def elapsed_s(self) -> float:
+        """Parallel execution: the slowest shard's time."""
+        return max((o.stats.elapsed_s for o in self.per_shard), default=0.0)
+
+    @property
+    def serial_elapsed_s(self) -> float:
+        """What one device holding everything serially would pay."""
+        return sum(o.stats.elapsed_s for o in self.per_shard)
+
+    def effective_throughput(self, original_bytes: int) -> float:
+        if self.elapsed_s == 0:
+            return 0.0
+        return original_bytes / self.elapsed_s
+
+
+class MithriLogCluster:
+    """N accelerated storage devices behind one ingest/query interface."""
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        params: Optional[SystemParams] = None,
+        seed: int = 0,
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError("need at least one shard")
+        self.shards = [
+            MithriLogSystem(params, seed=seed + i) for i in range(num_shards)
+        ]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def original_bytes(self) -> int:
+        return sum(s.original_bytes for s in self.shards)
+
+    @property
+    def total_lines(self) -> int:
+        return sum(s.total_lines for s in self.shards)
+
+    # -- ingest ------------------------------------------------------------
+
+    def ingest(
+        self,
+        lines: Sequence[bytes],
+        timestamps: Optional[Sequence[float]] = None,
+    ) -> ClusterIngestReport:
+        """Shard a batch into contiguous slices, one per device."""
+        if timestamps is not None and len(timestamps) != len(lines):
+            raise IngestError("timestamps must align one-to-one with lines")
+        reports = []
+        n = len(lines)
+        base = n // self.num_shards
+        extra = n % self.num_shards
+        start = 0
+        for index, shard in enumerate(self.shards):
+            size = base + (1 if index < extra else 0)
+            if size == 0:
+                continue
+            chunk = lines[start : start + size]
+            stamps = (
+                timestamps[start : start + size] if timestamps is not None else None
+            )
+            reports.append(shard.ingest(chunk, timestamps=stamps))
+            start += size
+        return ClusterIngestReport(shards=tuple(reports))
+
+    # -- query ---------------------------------------------------------------
+
+    def query(self, *queries: Query, use_index: bool = True) -> ClusterQueryOutcome:
+        """Scatter the queries, gather matches in shard order."""
+        if not queries:
+            raise QueryError("query() needs at least one query")
+        per_shard = []
+        matched: list[bytes] = []
+        counts = [0] * len(queries)
+        for shard in self.shards:
+            if shard.total_lines == 0:
+                continue
+            outcome = shard.query(*queries, use_index=use_index)
+            per_shard.append(outcome)
+            matched.extend(outcome.matched_lines)
+            for q in range(len(queries)):
+                counts[q] += outcome.per_query_counts[q]
+        return ClusterQueryOutcome(
+            per_shard=per_shard,
+            matched_lines=matched,
+            per_query_counts=counts,
+        )
+
+    def scan_all(self, *queries: Query) -> ClusterQueryOutcome:
+        return self.query(*queries, use_index=False)

@@ -1,0 +1,165 @@
+"""Side-by-side evaluation harness (Sections 7.4.2 and 7.5).
+
+Drives identical query workloads through MithriLog and the software
+baselines over the same corpus, and aggregates the rows the paper's
+tables and figures report: per-query effective throughput (Figure 15),
+batch-size averages and improvement factors (Table 6), per-query elapsed
+times against Splunk (Figure 16) and total-time improvements (Table 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.baselines.scandb import ScanDatabase
+from repro.baselines.splunklike import SplunkLikeEngine
+from repro.core.query import Query
+from repro.system.mithrilog import MithriLogSystem
+from repro.templates.querygen import QueryWorkload
+
+
+@dataclass(frozen=True)
+class ThroughputSample:
+    """One query's effective throughput on one system (GB/s)."""
+
+    system: str
+    batch_size: int
+    gbps: float
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """One query's elapsed time on MithriLog vs the Splunk-like engine."""
+
+    mithrilog_s: float
+    splunk_s: float
+    full_scan: bool
+
+    @property
+    def speedup(self) -> float:
+        if self.mithrilog_s == 0:
+            return float("inf")
+        return self.splunk_s / self.mithrilog_s
+
+
+@dataclass
+class ScanComparison:
+    """Figure 15 / Table 6 data: full-scan effective throughputs."""
+
+    samples: list[ThroughputSample] = field(default_factory=list)
+
+    def mean_gbps(self, system: str, batch_size: int) -> float:
+        values = [
+            s.gbps
+            for s in self.samples
+            if s.system == system and s.batch_size == batch_size
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+    def average_improvement(self) -> float:
+        """Table 6's bottom row: mean MithriLog/baseline ratio over all
+        tested batch sizes."""
+        ratios = []
+        for batch in (1, 2, 8):
+            base = self.mean_gbps("MonetDB", batch)
+            ours = self.mean_gbps("MithriLog", batch)
+            if base > 0:
+                ratios.append(ours / base)
+        return sum(ratios) / len(ratios) if ratios else 0.0
+
+
+@dataclass
+class EndToEndComparison:
+    """Figure 16 / Table 7 data: indexed end-to-end latencies."""
+
+    samples: list[LatencySample] = field(default_factory=list)
+
+    def total_improvement(self) -> float:
+        """Table 7's metric: total Splunk time / total MithriLog time."""
+        ours = sum(s.mithrilog_s for s in self.samples)
+        theirs = sum(s.splunk_s for s in self.samples)
+        return theirs / ours if ours > 0 else 0.0
+
+
+class ComparisonHarness:
+    """Runs one corpus through every system under the same workload."""
+
+    def __init__(self, lines: Sequence[bytes], seed: int = 0) -> None:
+        self.lines = list(lines)
+        self.original_bytes = sum(len(l) + 1 for l in self.lines)
+        self.mithrilog = MithriLogSystem(seed=seed)
+        self.ingest_report = self.mithrilog.ingest(self.lines)
+        self.scan_db = ScanDatabase(self.lines)
+        self.splunk = SplunkLikeEngine(self.lines)
+
+    # -- Section 7.4.2: token filter vs full-scan software ----------------
+
+    def run_scan_comparison(self, workload: QueryWorkload) -> ScanComparison:
+        """Full-table scans on both systems (indexes disabled)."""
+        result = ScanComparison()
+        for batch_size, queries in workload.all_batches.items():
+            for query in queries:
+                ours = self.mithrilog.scan_all(query)
+                result.samples.append(
+                    ThroughputSample(
+                        system="MithriLog",
+                        batch_size=batch_size,
+                        gbps=ours.effective_throughput(self.original_bytes) / 1e9,
+                    )
+                )
+                theirs = self.scan_db.execute(query)
+                result.samples.append(
+                    ThroughputSample(
+                        system="MonetDB",
+                        batch_size=batch_size,
+                        gbps=theirs.effective_throughput(self.original_bytes) / 1e9,
+                    )
+                )
+        return result
+
+    # -- Section 7.5: end-to-end with indexes ------------------------------
+
+    def run_end_to_end(
+        self,
+        workload: QueryWorkload,
+        extra_queries: Sequence[Query] = (),
+    ) -> EndToEndComparison:
+        """Indexed queries on both systems.
+
+        ``extra_queries`` lets callers add the negative-term-heavy
+        queries Section 7.5 singles out (e.g. ``NOT <common token>``),
+        which no index can narrow and which produce the slow left-edge
+        cluster of Figure 16.
+        """
+        result = EndToEndComparison()
+        batches = [q for qs in workload.all_batches.values() for q in qs]
+        for query in list(batches) + list(extra_queries):
+            ours = self.mithrilog.query(query, use_index=True)
+            theirs = self.splunk.execute(query)
+            result.samples.append(
+                LatencySample(
+                    mithrilog_s=ours.stats.elapsed_s,
+                    splunk_s=theirs.amortized_elapsed_s,
+                    full_scan=theirs.full_scan,
+                )
+            )
+        return result
+
+    # -- correctness cross-check -------------------------------------------
+
+    def verify_agreement(self, queries: Sequence[Query]) -> None:
+        """Every system must return the same matching lines (oracle check)."""
+        from repro.baselines.grep import grep_indices
+
+        for query in queries:
+            expected = grep_indices(query, self.lines)
+            ours = self.mithrilog.query(query, use_index=True)
+            assert len(ours.matched_lines) == len(expected), (
+                f"MithriLog returned {len(ours.matched_lines)} lines, "
+                f"oracle says {len(expected)} for {query}"
+            )
+            splunk = self.splunk.execute(query)
+            assert splunk.matching_indices == expected
+            scan = self.scan_db.execute(query)
+            assert scan.matching_indices == expected

@@ -1,0 +1,384 @@
+"""The complete MithriLog system (Figure 2).
+
+Ingest path: log lines are packed into chunks whose **compressed** form
+fills one flash page (so the storage's internal bandwidth delivers
+compressed data and the effective read bandwidth is multiplied by the
+compression ratio — Section 5's whole purpose), appended to the device,
+and indexed page-by-page in the inverted index.
+
+Query path: the index proposes candidate pages (a superset); the device
+is configured with the decompressor and the compiled token filter; pages
+stream through the near-storage accelerator and only surviving lines
+cross PCIe. Timing is the paper's pipeline arithmetic: the elapsed scan
+time is set by the slowest of {flash supply, accelerator consumption,
+host link}, plus the latency-bound index traversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.compression.lzah import LZAHCompressor
+from repro.core.engine import TokenFilterEngine
+from repro.core.query import Query
+from repro.errors import IngestError, QueryError
+from repro.hw.perf import PipelineCycleModel, measure_tokenized_stats
+from repro.index.inverted import InvertedIndex
+from repro.params import PROTOTYPE, SystemParams
+from repro.storage.device import MithriLogDevice, ReadMode
+from repro.storage.page import Page
+from repro.core.tokenizer import split_tokens
+
+#: Lines sampled for the ingest-time pipeline capability measurement.
+_PERF_SAMPLE_LINES = 2000
+
+
+@dataclass(frozen=True)
+class IngestCostModel:
+    """Per-unit costs of the ingest pipeline.
+
+    Storage writes stream compressed pages at the internal bandwidth;
+    compression runs on the accelerator at the LZAH wire speed; the
+    host-side index pays a small hash+append per posting (Section 6's
+    design goal is precisely that this side never becomes the
+    bottleneck).
+    """
+
+    posting_insert_s: float = 10e-9  # hash + buffer append per token
+    line_overhead_s: float = 20e-9  # tokenization bookkeeping per line
+
+    def host_seconds(self, lines: int, postings: int) -> float:
+        return lines * self.line_overhead_s + postings * self.posting_insert_s
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """What one ingest call stored, and the modelled time it took."""
+
+    lines: int
+    original_bytes: int
+    compressed_bytes: int
+    pages_written: int
+    index_memory_bytes: int
+    postings_inserted: int = 0
+    storage_time_s: float = 0.0
+    compress_time_s: float = 0.0
+    host_time_s: float = 0.0
+
+    @property
+    def compression_ratio(self) -> float:
+        if self.compressed_bytes == 0:
+            return 1.0
+        return self.original_bytes / self.compressed_bytes
+
+    @property
+    def elapsed_s(self) -> float:
+        """Pipelined ingest: the slowest stage paces the whole."""
+        return max(self.storage_time_s, self.compress_time_s, self.host_time_s)
+
+    @property
+    def ingest_bytes_per_sec(self) -> float:
+        if self.elapsed_s == 0:
+            return 0.0
+        return self.original_bytes / self.elapsed_s
+
+    @property
+    def bottleneck(self) -> str:
+        stages = {
+            "storage": self.storage_time_s,
+            "compression": self.compress_time_s,
+            "index": self.host_time_s,
+        }
+        return max(stages, key=stages.get)
+
+
+@dataclass
+class QueryStats:
+    """Performance accounting for one query."""
+
+    candidate_pages: int = 0
+    pages_read: int = 0  # < candidate_pages when a limit cancelled early
+    total_pages: int = 0
+    bytes_from_flash: int = 0
+    bytes_decompressed: int = 0
+    bytes_to_host: int = 0
+    lines_seen: int = 0
+    lines_kept: int = 0
+    index_root_visits: int = 0
+    index_tokens_looked_up: int = 0
+    index_full_scan: bool = False
+    index_time_s: float = 0.0
+    scan_time_s: float = 0.0
+    offloaded: bool = True
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.index_time_s + self.scan_time_s
+
+    @property
+    def index_reduction(self) -> float:
+        """Fraction of pages the index let the query skip."""
+        if self.total_pages == 0:
+            return 0.0
+        return 1.0 - self.candidate_pages / self.total_pages
+
+
+@dataclass
+class QueryOutcome:
+    """Result of one end-to-end query."""
+
+    matched_lines: list[bytes]
+    per_query_counts: list[int]
+    stats: QueryStats
+
+    def effective_throughput(self, original_bytes: int) -> float:
+        """The paper's metric: original dataset size / elapsed time."""
+        if self.stats.elapsed_s == 0:
+            return 0.0
+        return original_bytes / self.stats.elapsed_s
+
+
+class MithriLogSystem:
+    """Host software + near-storage accelerated device, end to end."""
+
+    def __init__(
+        self,
+        params: Optional[SystemParams] = None,
+        seed: int = 0,
+        device: Optional[MithriLogDevice] = None,
+        index=None,
+    ) -> None:
+        self.params = params if params is not None else PROTOTYPE
+        self.device = (
+            device if device is not None else MithriLogDevice(self.params.storage)
+        )
+        self.codec = LZAHCompressor(self.params.lzah)
+        # any index strategy with the InvertedIndex surface works
+        # (Section 6: "can be coupled with any indexing strategy")
+        self.index = (
+            index
+            if index is not None
+            else InvertedIndex(
+                self.device.flash,
+                self.params.index,
+                self.params.storage.page_bytes,
+                seed=seed,
+            )
+        )
+        self.engine = TokenFilterEngine(
+            num_pipelines=self.params.num_pipelines,
+            cuckoo_params=self.params.cuckoo,
+            pipeline_params=self.params.pipeline,
+            seed=seed,
+        )
+        self.original_bytes = 0
+        self.total_lines = 0
+        self._accelerator_rate: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def ingest(
+        self, lines: Sequence[bytes], timestamps: Optional[Sequence[float]] = None
+    ) -> IngestReport:
+        """Compress, store and index a batch of log lines.
+
+        ``timestamps``, when given (one per line), drive the snapshot
+        index for later time-bounded queries.
+        """
+        if timestamps is not None and len(timestamps) != len(lines):
+            raise IngestError("timestamps must align one-to-one with lines")
+        compressed_total = 0
+        pages = 0
+        pos = 0
+        postings = 0
+        for payload, chunk in self._pack_pages(lines):
+            addr = self.device.append_pages([Page(payload)])[0]
+            tokens = {t for line in chunk for t in split_tokens(line)}
+            stamp = timestamps[pos + len(chunk) - 1] if timestamps else None
+            self.index.index_page(addr, tokens, timestamp=stamp)
+            postings += len(tokens)
+            compressed_total += len(payload)
+            pages += 1
+            pos += len(chunk)
+        original = sum(len(l) + 1 for l in lines)
+        self.original_bytes += original
+        self.total_lines += len(lines)
+        self._measure_accelerator_rate(lines)
+        storage = self.params.storage
+        cost = IngestCostModel()
+        return IngestReport(
+            lines=len(lines),
+            original_bytes=original,
+            compressed_bytes=compressed_total,
+            pages_written=pages,
+            index_memory_bytes=self.index.memory_footprint_bytes(),
+            postings_inserted=postings,
+            storage_time_s=storage.latency_s
+            + compressed_total / storage.internal_bandwidth,
+            compress_time_s=original
+            / (self.params.num_pipelines * self.params.pipeline.wire_speed_bytes_per_sec),
+            host_time_s=cost.host_seconds(len(lines), postings),
+        )
+
+    def _pack_pages(
+        self, lines: Sequence[bytes]
+    ) -> Iterable[tuple[bytes, list[bytes]]]:
+        """Pack lines so each chunk's *compressed* form fills one page.
+
+        Greedy with feedback: aim for ``page_bytes x current-ratio`` of
+        uncompressed text, compress, and split the chunk when it misses
+        high. Every yielded payload fits one flash page.
+        """
+        page_bytes = self.params.storage.page_bytes
+        ratio_estimate = 2.0
+        i = 0
+        n = len(lines)
+        while i < n:
+            target = max(1, int(page_bytes * ratio_estimate * 0.9))
+            chunk: list[bytes] = []
+            used = 0
+            j = i
+            while j < n and (used + len(lines[j]) + 1 <= target or not chunk):
+                chunk.append(lines[j])
+                used += len(lines[j]) + 1
+                j += 1
+            payload = self.codec.compress(
+                b"".join(l + b"\n" for l in chunk)
+            )
+            while len(payload) > page_bytes:
+                if len(chunk) == 1:
+                    raise IngestError(
+                        f"single line of {len(chunk[0])} bytes cannot fit a "
+                        f"{page_bytes}-byte page even compressed"
+                    )
+                chunk = chunk[: len(chunk) // 2]
+                payload = self.codec.compress(b"".join(l + b"\n" for l in chunk))
+            used = sum(len(l) + 1 for l in chunk)
+            ratio_estimate = 0.5 * ratio_estimate + 0.5 * (used / len(payload))
+            yield payload, chunk
+            i += len(chunk)
+
+    def _measure_accelerator_rate(self, lines: Sequence[bytes]) -> None:
+        """Measure the filter engine's capability on this corpus (cycles)."""
+        sample = list(lines[:_PERF_SAMPLE_LINES])
+        if not sample:
+            return
+        count = PipelineCycleModel(self.params.pipeline).count_cycles(sample)
+        pipelines = count.throughput_bytes_per_sec * self.params.num_pipelines
+        decomp = self.params.num_pipelines * (
+            self.params.lzah.word_bytes * self.params.pipeline.clock_hz
+        )
+        self._accelerator_rate = min(pipelines, decomp)
+
+    @property
+    def accelerator_rate(self) -> float:
+        """Effective decompressed-text consumption rate (bytes/s)."""
+        if self._accelerator_rate is None:
+            raise QueryError("nothing ingested yet; accelerator rate unknown")
+        return self._accelerator_rate
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        *queries: Query,
+        use_index: bool = True,
+        time_range: Optional[tuple[Optional[float], Optional[float]]] = None,
+        limit: Optional[int] = None,
+        newest_first: bool = False,
+    ) -> QueryOutcome:
+        """Run one or more concurrent queries end to end.
+
+        ``limit`` cancels the device read once that many matching lines
+        arrived (top-k exploration: far fewer pages touched on common
+        queries); ``newest_first`` visits candidate pages in reverse
+        chronological order — the natural direction for log exploration,
+        and what Section 6.3's reverse-ordered index traversal hands the
+        host for free. With both set, the result is "the last ``limit``
+        matches", in storage order within the visited range.
+        """
+        if not queries:
+            raise QueryError("query() needs at least one query")
+        offloaded = self.engine.compile(*queries)
+        stats = QueryStats(offloaded=offloaded, total_pages=self.index.total_data_pages)
+
+        if use_index:
+            union = queries[0]
+            for extra in queries[1:]:
+                union = union | extra
+            lookup = self.index.candidate_pages(union, time_range=time_range)
+            candidates = list(lookup.pages)
+            stats.index_root_visits = lookup.stats.root_visits
+            stats.index_tokens_looked_up = lookup.stats.tokens_looked_up
+            stats.index_full_scan = lookup.stats.full_scan
+            stats.index_time_s = self._index_time(lookup.stats)
+        else:
+            candidates = list(self.index.data_pages)
+            stats.index_full_scan = True
+        stats.candidate_pages = len(candidates)
+        if newest_first:
+            candidates = list(reversed(candidates))
+
+        self.device.configure(
+            decompress_page=self.codec.decompress,
+            line_filter=self.engine.keep_line,
+        )
+        read = self.device.read(
+            candidates, mode=ReadMode.FILTER, stop_after_matches=limit
+        )
+        stats.pages_read = read.pages_read
+        stats.bytes_from_flash = read.bytes_from_flash
+        stats.bytes_decompressed = read.bytes_decompressed
+        stats.bytes_to_host = read.bytes_to_host
+        stats.lines_seen = read.lines_seen
+        stats.lines_kept = read.lines_kept
+        stats.scan_time_s = self._scan_time(read, candidates)
+
+        matched = read.data.splitlines()
+        per_query = self._per_query_counts(matched, len(queries))
+        return QueryOutcome(
+            matched_lines=matched, per_query_counts=per_query, stats=stats
+        )
+
+    def _index_time(self, lookup_stats) -> float:
+        """Traversal cost, delegated to the index strategy: storage hops
+        for the in-storage inverted index, host bit-tests for blooms."""
+        return self.index.lookup_seconds(
+            lookup_stats, self.params.storage.latency_s
+        )
+
+    def _scan_time(self, read, candidates: Sequence[int]) -> float:
+        """Streaming pipeline: bottleneck stage sets the pace (Figure 14).
+
+        Candidate page reads are *independent*, so a flash array with
+        queued requests streams them at full internal bandwidth after one
+        pipeline-fill latency; only the index walk (pointer chasing) pays
+        latency per hop, and that is charged in :meth:`_index_time`.
+        """
+        storage = self.params.storage
+        flash_time = (
+            storage.latency_s + read.bytes_from_flash / storage.internal_bandwidth
+        )
+        accel_time = read.bytes_decompressed / self.accelerator_rate
+        host_time = read.bytes_to_host / storage.external_bandwidth
+        return max(flash_time, accel_time, host_time)
+
+    def _per_query_counts(
+        self, matched: list[bytes], num_queries: int
+    ) -> list[int]:
+        if not matched:
+            return [0] * num_queries
+        verdicts = self.engine.filter_lines(matched).verdicts
+        return [sum(1 for v in verdicts if v[q]) for q in range(num_queries)]
+
+    # -- convenience -----------------------------------------------------
+
+    def scan_all(self, *queries: Query) -> QueryOutcome:
+        """Whole-store scan (the Section 7.4 token-filter experiments run
+        with the index disabled)."""
+        return self.query(*queries, use_index=False)

@@ -1,0 +1,103 @@
+"""Text renderers for the paper's tables and figures.
+
+Every benchmark prints through these helpers so the output reads like
+the paper: the same row labels, the same units, plus an ASCII histogram
+for Figure 15 and a scatter summary for Figure 16.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    col_width: int = 14,
+) -> str:
+    """A fixed-width text table."""
+    lines = [title, "-" * max(len(title), col_width * len(headers))]
+    lines.append("".join(f"{h:<{col_width}}" for h in headers))
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(f"{cell:<{col_width}.2f}")
+            else:
+                rendered.append(f"{str(cell):<{col_width}}")
+        lines.append("".join(rendered))
+    return "\n".join(lines)
+
+
+def render_histogram(
+    title: str,
+    values: Sequence[float],
+    bin_edges: Sequence[float],
+    width: int = 40,
+    unit: str = "GB/s",
+) -> str:
+    """An ASCII histogram with explicit (possibly non-linear) bins.
+
+    Figure 15 uses a non-linear x-axis; passing log-spaced edges here
+    reproduces that presentation.
+    """
+    counts = [0] * (len(bin_edges) - 1)
+    for value in values:
+        for i in range(len(bin_edges) - 1):
+            last = i == len(counts) - 1
+            if bin_edges[i] <= value < bin_edges[i + 1] or (
+                last and value >= bin_edges[i + 1]
+            ):
+                counts[i] += 1
+                break
+    peak = max(counts) if counts else 1
+    lines = [title]
+    for i, count in enumerate(counts):
+        bar = "#" * (0 if peak == 0 else round(width * count / max(peak, 1)))
+        label = f"[{bin_edges[i]:>7.2f},{bin_edges[i + 1]:>7.2f}) {unit}"
+        lines.append(f"{label} |{bar} {count}")
+    return "\n".join(lines)
+
+
+def log_bins(low: float, high: float, count: int) -> list[float]:
+    """Log-spaced bin edges (Figure 15's non-linear x-axis)."""
+    if low <= 0 or high <= low or count <= 0:
+        raise ValueError("need 0 < low < high and count > 0")
+    step = (math.log10(high) - math.log10(low)) / count
+    return [10 ** (math.log10(low) + i * step) for i in range(count + 1)]
+
+
+def render_scatter_summary(
+    title: str,
+    pairs: Sequence[tuple[float, float]],
+    x_label: str = "MithriLog (s)",
+    y_label: str = "Splunk (s)",
+) -> str:
+    """Figure 16 as quartile summaries of both axes plus win counts."""
+
+    def quartiles(values: list[float]) -> tuple[float, float, float]:
+        ordered = sorted(values)
+        n = len(ordered)
+        return (
+            ordered[n // 4],
+            ordered[n // 2],
+            ordered[(3 * n) // 4],
+        )
+
+    if not pairs:
+        return f"{title}\n(no samples)"
+    xs = [p[0] for p in pairs]
+    ys = [p[1] for p in pairs]
+    wins = sum(1 for x, y in pairs if x < y)
+    xq, yq = quartiles(xs), quartiles(ys)
+    return "\n".join(
+        [
+            title,
+            f"samples: {len(pairs)}; MithriLog faster on {wins} "
+            f"({100 * wins / len(pairs):.0f}%)",
+            f"{x_label:>16}: q25={xq[0]:.4f} median={xq[1]:.4f} q75={xq[2]:.4f}",
+            f"{y_label:>16}: q25={yq[0]:.4f} median={yq[1]:.4f} q75={yq[2]:.4f}",
+        ]
+    )

@@ -1,0 +1,104 @@
+"""Concurrent-query scheduling.
+
+Section 4's flexibility claim: the query format "can be used to either
+encode one complex query, or to evaluate multiple queries in parallel by
+joining them with unions" — concurrent execution at no performance loss.
+The operational consequence is a scheduler: given a queue of queries,
+pack as many as fit the hardware provisioning (flag pairs, cuckoo load
+factor) into each accelerator pass, so a batch of N simple queries costs
+~N/8 scans instead of N.
+
+Packing is greedy with a compile-probe: a query joins the current group
+if the combined program still compiles (covers both the flag-pair budget
+and cuckoo placement limits). Queries that cannot compile even alone run
+in software fallback groups of one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.hashfilter import compile_queries
+from repro.core.query import Query
+from repro.errors import CapacityError, PlacementError
+from repro.system.mithrilog import MithriLogSystem, QueryOutcome
+
+
+@dataclass
+class ScheduledRun:
+    """Outcome of running a query queue through the scheduler."""
+
+    groups: list[tuple[int, ...]]  # indices of queries per accelerator pass
+    outcomes: list[QueryOutcome]  # one per group
+    per_query_counts: list[int]  # aligned with the input queue
+    makespan_s: float
+
+    @property
+    def passes(self) -> int:
+        return len(self.groups)
+
+
+class QueryScheduler:
+    """Packs a query queue into hardware-sized concurrent groups."""
+
+    def __init__(self, system: MithriLogSystem) -> None:
+        self.system = system
+
+    def _fits(self, queries: Sequence[Query]) -> bool:
+        try:
+            compile_queries(
+                queries,
+                params=self.system.params.cuckoo,
+                seed=self.system.engine.seed,
+            )
+        except (CapacityError, PlacementError):
+            return False
+        return True
+
+    def pack(self, queries: Sequence[Query]) -> list[tuple[int, ...]]:
+        """Greedy first-fit grouping under the compile probe."""
+        groups: list[list[int]] = []
+        members: list[list[Query]] = []
+        for index, query in enumerate(queries):
+            placed = False
+            for group, qs in zip(groups, members):
+                if self._fits(qs + [query]):
+                    group.append(index)
+                    qs.append(query)
+                    placed = True
+                    break
+            if not placed:
+                groups.append([index])
+                members.append([query])
+        return [tuple(g) for g in groups]
+
+    def run(self, queries: Sequence[Query], use_index: bool = True) -> ScheduledRun:
+        """Execute the whole queue; makespan is the sum of pass times."""
+        if not queries:
+            raise ValueError("nothing to schedule")
+        groups = self.pack(queries)
+        outcomes: list[QueryOutcome] = []
+        counts = [0] * len(queries)
+        makespan = 0.0
+        for group in groups:
+            outcome = self.system.query(
+                *[queries[i] for i in group], use_index=use_index
+            )
+            outcomes.append(outcome)
+            for position, query_index in enumerate(group):
+                counts[query_index] = outcome.per_query_counts[position]
+            makespan += outcome.stats.elapsed_s
+        return ScheduledRun(
+            groups=groups,
+            outcomes=outcomes,
+            per_query_counts=counts,
+            makespan_s=makespan,
+        )
+
+    def serial_makespan(self, queries: Sequence[Query], use_index: bool = True) -> float:
+        """Reference cost of running each query as its own pass."""
+        return sum(
+            self.system.query(query, use_index=use_index).stats.elapsed_s
+            for query in queries
+        )

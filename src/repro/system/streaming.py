@@ -1,0 +1,123 @@
+"""Streaming ingestion.
+
+Logs arrive continuously ("typical use pattern of logs involves firstly
+storing everything to the storage and then running queries", Section 1) —
+so the store must accept lines as they arrive, not only in batches.
+:class:`StreamingIngestor` wraps a :class:`repro.system.MithriLogSystem`
+with an arrival buffer: lines accumulate until a batch is worth
+compressing into pages, snapshots fire on a time cadence, and queries can
+optionally cover the not-yet-persisted tail so results are always
+complete.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.query import Query
+from repro.errors import IngestError
+from repro.system.mithrilog import MithriLogSystem, QueryOutcome
+
+
+class StreamingIngestor:
+    """Accepts log lines incrementally and persists them in batches."""
+
+    def __init__(
+        self,
+        system: MithriLogSystem,
+        batch_lines: int = 512,
+        snapshot_every_s: Optional[float] = None,
+    ) -> None:
+        if batch_lines <= 0:
+            raise IngestError("batch_lines must be positive")
+        if snapshot_every_s is not None and snapshot_every_s <= 0:
+            raise IngestError("snapshot_every_s must be positive")
+        self.system = system
+        self.batch_lines = batch_lines
+        self.snapshot_every_s = snapshot_every_s
+        self._pending: list[bytes] = []
+        self._pending_stamps: list[Optional[float]] = []
+        self._last_snapshot_at: Optional[float] = None
+        self.lines_ingested = 0
+
+    # -- arrival ---------------------------------------------------------
+
+    @property
+    def pending_lines(self) -> int:
+        return len(self._pending)
+
+    def append(self, line: bytes, timestamp: Optional[float] = None) -> None:
+        """Accept one line; persists automatically when the batch fills."""
+        if b"\n" in line:
+            raise IngestError("append one line at a time, without newlines")
+        self._pending.append(line)
+        self._pending_stamps.append(timestamp)
+        if len(self._pending) >= self.batch_lines:
+            self.flush()
+
+    def extend(
+        self,
+        lines: Sequence[bytes],
+        timestamps: Optional[Sequence[float]] = None,
+    ) -> None:
+        if timestamps is not None and len(timestamps) != len(lines):
+            raise IngestError("timestamps must align with lines")
+        for i, line in enumerate(lines):
+            self.append(line, timestamps[i] if timestamps is not None else None)
+
+    def flush(self) -> int:
+        """Persist the pending tail; returns the number of lines stored."""
+        if not self._pending:
+            return 0
+        lines = self._pending
+        stamps = self._pending_stamps
+        self._pending = []
+        self._pending_stamps = []
+        have_stamps = all(s is not None for s in stamps)
+        self.system.ingest(lines, timestamps=stamps if have_stamps else None)
+        self.lines_ingested += len(lines)
+        if have_stamps and self.snapshot_every_s is not None:
+            latest = stamps[-1]
+            if (
+                self._last_snapshot_at is None
+                or latest - self._last_snapshot_at >= self.snapshot_every_s
+            ):
+                self.system.index.flush(timestamp=latest)
+                self._last_snapshot_at = latest
+        return len(lines)
+
+    # -- querying mid-stream ----------------------------------------------
+
+    def query(self, *queries: Query, include_pending: bool = True) -> QueryOutcome:
+        """Query the store; optionally cover the un-persisted tail too.
+
+        Pending lines are filtered through the same engine (they are in
+        host memory, so no storage accounting applies to them) and
+        appended to the persisted results, keeping answers complete at
+        any instant of the stream.
+        """
+        outcome = self.system.query(*queries)
+        if include_pending and self._pending:
+            result = self.system.engine.filter_lines(self._pending)
+            extra = [
+                line
+                for line, verdict in zip(self._pending, result.verdicts)
+                if any(verdict)
+            ]
+            outcome.matched_lines.extend(extra)
+            for q in range(len(queries)):
+                outcome.per_query_counts[q] += sum(
+                    1 for verdict in result.verdicts if verdict[q]
+                )
+            outcome.stats.lines_seen += len(self._pending)
+            outcome.stats.lines_kept += len(extra)
+        return outcome
+
+    # -- context manager ----------------------------------------------------
+
+    def __enter__(self) -> "StreamingIngestor":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        if exc_type is None:
+            self.flush()

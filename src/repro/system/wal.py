@@ -1,0 +1,141 @@
+"""Durability: write-ahead logging and crash recovery.
+
+The simulated flash device lives in memory, so durability in this
+reproduction is a host-side contract, the way log *collectors* provide
+it: every ingested batch is appended to a write-ahead log on disk before
+it is considered accepted; checkpoints persist the whole store
+(:mod:`repro.system.persistence`) and truncate the WAL; recovery loads
+the last checkpoint and replays the WAL's tail. Losing neither
+acknowledged lines nor index consistency across a crash is the property
+the tests drive.
+
+WAL record format (binary, self-delimiting):
+
+``u32 record_bytes | u8 has_timestamps | u32 n_lines | gzip(payload)``
+
+where the payload is newline-joined lines, optionally followed by the
+``n_lines`` float64 timestamps.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.errors import IngestError, StorageError
+from repro.system.mithrilog import IngestReport, MithriLogSystem
+from repro.system.persistence import load_store, save_store
+
+_HEADER = struct.Struct("<IBI")
+
+
+class WriteAheadLog:
+    """Append-only batch journal on the host filesystem."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.touch(exist_ok=True)
+
+    def append(
+        self,
+        lines: Sequence[bytes],
+        timestamps: Optional[Sequence[float]] = None,
+    ) -> None:
+        if timestamps is not None and len(timestamps) != len(lines):
+            raise IngestError("timestamps must align with lines")
+        if not lines:
+            return
+        payload = b"\n".join(lines)
+        if timestamps is not None:
+            payload += b"\x00" + struct.pack(f"<{len(timestamps)}d", *timestamps)
+        body = zlib.compress(payload, 1)
+        header = _HEADER.pack(len(body), 1 if timestamps is not None else 0, len(lines))
+        with open(self.path, "ab") as handle:
+            handle.write(header)
+            handle.write(body)
+            handle.flush()
+
+    def replay(self):
+        """Yield ``(lines, timestamps)`` batches in append order.
+
+        A torn final record (crash mid-append) is tolerated and dropped —
+        its batch was never acknowledged.
+        """
+        blob = self.path.read_bytes()
+        pos = 0
+        while pos + _HEADER.size <= len(blob):
+            body_len, has_stamps, n_lines = _HEADER.unpack(
+                blob[pos : pos + _HEADER.size]
+            )
+            start = pos + _HEADER.size
+            if start + body_len > len(blob):
+                break  # torn tail record
+            try:
+                payload = zlib.decompress(blob[start : start + body_len])
+            except zlib.error:
+                break  # corrupted tail
+            if has_stamps:
+                stamp_bytes = 8 * n_lines
+                text, raw = payload[: -stamp_bytes - 1], payload[-stamp_bytes:]
+                timestamps = list(struct.unpack(f"<{n_lines}d", raw))
+            else:
+                text, timestamps = payload, None
+            lines = text.split(b"\n") if n_lines else []
+            if len(lines) != n_lines:
+                raise StorageError("WAL record line count mismatch")
+            yield lines, timestamps
+            pos = start + body_len
+
+    def truncate(self) -> None:
+        self.path.write_bytes(b"")
+
+    @property
+    def size_bytes(self) -> int:
+        return self.path.stat().st_size
+
+
+class JournaledMithriLog:
+    """A MithriLog system with WAL-backed durable ingestion."""
+
+    def __init__(
+        self,
+        store_dir: Union[str, Path],
+        system: Optional[MithriLogSystem] = None,
+        seed: int = 0,
+    ) -> None:
+        self.store_dir = Path(store_dir)
+        self.system = system if system is not None else MithriLogSystem(seed=seed)
+        self.wal = WriteAheadLog(self.store_dir / "wal.bin")
+
+    def ingest(
+        self,
+        lines: Sequence[bytes],
+        timestamps: Optional[Sequence[float]] = None,
+    ) -> IngestReport:
+        """Durable ingest: journal first, then apply."""
+        self.wal.append(lines, timestamps)
+        return self.system.ingest(lines, timestamps=timestamps)
+
+    def query(self, *queries, **kwargs):
+        return self.system.query(*queries, **kwargs)
+
+    def checkpoint(self) -> None:
+        """Persist the full store and truncate the journal."""
+        save_store(self.system, self.store_dir)
+        self.wal.truncate()
+
+    @classmethod
+    def recover(cls, store_dir: Union[str, Path], seed: int = 0) -> "JournaledMithriLog":
+        """Rebuild after a crash: last checkpoint + WAL tail replay."""
+        store_dir = Path(store_dir)
+        if (store_dir / "store.json").exists():
+            system = load_store(store_dir, seed=seed)
+        else:
+            system = MithriLogSystem(seed=seed)
+        journaled = cls(store_dir, system=system, seed=seed)
+        for lines, timestamps in journaled.wal.replay():
+            system.ingest(lines, timestamps=timestamps)
+        return journaled

@@ -1,0 +1,145 @@
+"""Prefix-tree template extraction (the Drain/Spell family [6, 15, 17]).
+
+Unlike FT-tree, a prefix tree keys on token *position*: the first token
+is the root level, the second the next, and so on; high-fanout levels
+(variable fields) collapse into wildcards. Section 4.3 notes MithriLog
+supports these templates too by adding a column field to each hash-table
+entry — so this extractor compiles its templates into column-constrained
+queries (:class:`repro.core.query.Term` with ``column`` set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.query import IntersectionSet, Query, Term
+from repro.core.tokenizer import split_tokens
+from repro.errors import QueryError
+from repro.templates.fttree import Template, WILDCARD
+
+
+@dataclass(frozen=True)
+class PrefixTreeParams:
+    """Prefix-tree construction parameters."""
+
+    max_depth: int = 5
+    prune_threshold: int = 8
+    min_support: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_depth <= 0:
+            raise ValueError("max_depth must be positive")
+        if self.prune_threshold <= 1:
+            raise ValueError("prune_threshold must exceed 1")
+        if self.min_support <= 0:
+            raise ValueError("min_support must be positive")
+
+
+@dataclass
+class _PNode:
+    token: bytes
+    count: int = 0
+    end_count: int = 0
+    children: dict[bytes, "_PNode"] = field(default_factory=dict)
+
+
+class PrefixTree:
+    """A built prefix tree with its extracted positional templates."""
+
+    def __init__(self, root: _PNode, params: PrefixTreeParams) -> None:
+        self.root = root
+        self.params = params
+        self.templates: list[Template] = self._extract_templates()
+
+    @classmethod
+    def from_lines(
+        cls, lines: Iterable[bytes], params: Optional[PrefixTreeParams] = None
+    ) -> "PrefixTree":
+        params = params if params is not None else PrefixTreeParams()
+        root = _PNode(token=b"")
+        for line in lines:
+            tokens = split_tokens(line)[: params.max_depth]
+            node = root
+            node.count += 1
+            for token in tokens:
+                child = node.children.get(token)
+                if child is None:
+                    child = _PNode(token=token)
+                    node.children[token] = child
+                node = child
+                node.count += 1
+            node.end_count += 1
+        cls._prune(root, params.prune_threshold)
+        return cls(root=root, params=params)
+
+    @classmethod
+    def _prune(cls, node: _PNode, threshold: int) -> None:
+        if len(node.children) > threshold:
+            wildcard = _PNode(token=WILDCARD)
+            wildcard.count = sum(c.count for c in node.children.values())
+            wildcard.end_count = sum(c.end_count for c in node.children.values())
+            for child in node.children.values():
+                for token, grandchild in child.children.items():
+                    kept = wildcard.children.get(token)
+                    if kept is None:
+                        wildcard.children[token] = grandchild
+                    else:
+                        cls._merge(kept, grandchild)
+            node.children = {WILDCARD: wildcard}
+        for child in node.children.values():
+            cls._prune(child, threshold)
+
+    @classmethod
+    def _merge(cls, into: _PNode, other: _PNode) -> None:
+        into.count += other.count
+        into.end_count += other.end_count
+        for token, child in other.children.items():
+            kept = into.children.get(token)
+            if kept is None:
+                into.children[token] = child
+            else:
+                cls._merge(kept, child)
+
+    def _extract_templates(self) -> list[Template]:
+        # wildcards stay in the path as position holders
+        collected: dict[tuple[bytes, ...], int] = {}
+
+        def walk(node: _PNode, path: tuple[bytes, ...]) -> None:
+            here = path if node.token == b"" else path + (node.token,)
+            if node.end_count and here:
+                collected[here] = collected.get(here, 0) + node.end_count
+            for child in node.children.values():
+                walk(child, here)
+
+        walk(self.root, ())
+        survivors = [
+            (tokens, support)
+            for tokens, support in collected.items()
+            if support >= self.params.min_support
+        ]
+        survivors.sort(key=lambda item: (-item[1], item[0]))
+        return [
+            Template(template_id=i, tokens=tokens, support=support)
+            for i, (tokens, support) in enumerate(survivors)
+        ]
+
+    def template_query(self, template: Template) -> Query:
+        """Compile a positional template into a column-constrained query.
+
+        Wildcard positions carry no constraint; keyword positions require
+        the exact token at that column. This is the Section 4.3 prefix
+        extension: the datapath is unchanged, only the hash entry gains a
+        column field.
+        """
+        terms = tuple(
+            Term(token, column=position)
+            for position, token in enumerate(template.tokens)
+            if token != WILDCARD
+        )
+        if not terms:
+            raise QueryError(
+                f"template {template.template_id} is all wildcards; "
+                "nothing to query"
+            )
+        return Query.of(IntersectionSet(terms=terms))

@@ -1,0 +1,78 @@
+"""Machine-generated query workloads (Section 7.1).
+
+The paper evaluates every system with:
+
+- all single template queries extracted by FT-tree,
+- 100 random OR-combinations of two queries,
+- 16 random OR-combinations of eight queries,
+
+with the *same* randomly generated combinations used for every system.
+:func:`build_workload` reproduces that construction deterministically
+from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.query import Query
+from repro.errors import QueryError
+from repro.templates.fttree import FTTree
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """The three query batches driven against each system."""
+
+    singles: tuple[Query, ...]
+    pairs: tuple[Query, ...]
+    eights: tuple[Query, ...]
+
+    @property
+    def all_batches(self) -> dict[int, tuple[Query, ...]]:
+        """Batch size -> queries, as the evaluation tables group them."""
+        return {1: self.singles, 2: self.pairs, 8: self.eights}
+
+    def total_queries(self) -> int:
+        return len(self.singles) + len(self.pairs) + len(self.eights)
+
+
+def combine(queries: Sequence[Query]) -> Query:
+    """OR-join queries into one concurrent offloadable query."""
+    if not queries:
+        raise QueryError("cannot combine zero queries")
+    joined = queries[0]
+    for query in queries[1:]:
+        joined = joined | query
+    return joined
+
+
+def build_workload(
+    tree: FTTree,
+    num_pairs: int = 100,
+    num_eights: int = 16,
+    seed: int = 2021,
+    max_singles: Optional[int] = None,
+) -> QueryWorkload:
+    """Generate the Section 7.1 workload from an FT-tree.
+
+    Combinations sample templates uniformly without replacement within
+    each combination; the RNG is seeded so all systems (and all runs)
+    see identical batches.
+    """
+    singles = tuple(tree.template_query(t) for t in tree.templates)
+    if max_singles is not None:
+        singles = singles[:max_singles]
+    if not singles:
+        raise QueryError("FT-tree produced no templates to query")
+    rng = random.Random(seed)
+
+    def sample_combo(size: int) -> Query:
+        k = min(size, len(singles))
+        return combine(rng.sample(singles, k))
+
+    pairs = tuple(sample_combo(2) for _ in range(num_pairs))
+    eights = tuple(sample_combo(8) for _ in range(num_eights))
+    return QueryWorkload(singles=singles, pairs=pairs, eights=eights)

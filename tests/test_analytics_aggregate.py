@@ -1,0 +1,100 @@
+"""Tests for result-set aggregation."""
+
+import pytest
+
+from repro.analytics.aggregate import (
+    aggregate_matches,
+    extract_fields,
+    host_of,
+    matches_over_time,
+)
+from repro.datasets.synthetic import generator_for
+
+
+class TestFieldExtraction:
+    def test_host_of_hpc4_line(self):
+        line = b"- 1117838570 2005.06.03 ln257 Jun 3 ... sshd: msg"
+        assert host_of(line) == b"ln257"
+
+    def test_host_of_short_line(self):
+        assert host_of(b"too short") is None
+
+    def test_extract_key_values(self):
+        line = b"sshd: auth failure rhost=1.2.3.4 user=root code=17"
+        fields = extract_fields(line)
+        assert fields[b"rhost"] == b"1.2.3.4"
+        assert fields[b"user"] == b"root"
+        assert fields[b"code"] == b"17"
+
+    def test_malformed_pairs_ignored(self):
+        fields = extract_fields(b"a= =b c = d plain")
+        assert fields == {}
+
+    def test_last_occurrence_wins(self):
+        assert extract_fields(b"k=1 k=2")[b"k"] == b"2"
+
+
+class TestTimeSeries:
+    def test_bucketing(self):
+        lines = [
+            b"- 1000000000 d h one",
+            b"- 1000000030 d h two",
+            b"- 1000000070 d h three",
+        ]
+        series = matches_over_time(lines, bucket_s=60.0)
+        assert series is not None
+        assert series.counts == (2, 1)
+        assert series.peak_bucket() == 0
+
+    def test_no_epochs_returns_none(self):
+        assert matches_over_time([b"plain text line"]) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            matches_over_time([], bucket_s=0)
+
+
+class TestAggregateReport:
+    @pytest.fixture(scope="class")
+    def matches(self):
+        lines = generator_for("Liberty2").generate(3000)
+        return [l for l in lines if b"sshd" in l]
+
+    def test_totals_and_hosts(self, matches):
+        report = aggregate_matches(matches)
+        assert report.total == len(matches)
+        assert report.top_hosts
+        assert all(host.startswith(b"ln") for host, _count in report.top_hosts)
+
+    def test_field_tabulation(self, matches):
+        report = aggregate_matches(matches, fields=(b"rhost", b"user"))
+        assert set(report.top_fields).issubset({b"rhost", b"user"})
+
+    def test_auto_field_discovery(self, matches):
+        report = aggregate_matches(matches, top_k=3)
+        assert len(report.top_fields) <= 3
+
+    def test_render(self, matches):
+        text = aggregate_matches(matches).render()
+        assert "matching lines" in text
+        assert "top hosts:" in text
+
+    def test_series_present_for_hpc4_lines(self, matches):
+        report = aggregate_matches(matches)
+        assert report.series is not None
+        assert report.series.total == len(matches)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            aggregate_matches([], top_k=0)
+
+    def test_end_to_end_with_query(self):
+        from repro.core.query import parse_query
+        from repro.system.mithrilog import MithriLogSystem
+
+        lines = generator_for("Liberty2").generate(2000)
+        system = MithriLogSystem()
+        system.ingest(lines)
+        outcome = system.query(parse_query("Failed AND password"))
+        report = aggregate_matches(outcome.matched_lines, fields=(b"user",))
+        assert report.total == len(outcome.matched_lines)

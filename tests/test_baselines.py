@@ -1,0 +1,117 @@
+"""Tests for the software baseline engines."""
+
+import pytest
+
+from repro.baselines.grep import grep_indices, grep_lines
+from repro.baselines.scandb import ScanDatabase, ScanDbCostModel
+from repro.baselines.splunklike import SplunkCostModel, SplunkLikeEngine
+from repro.core.query import parse_query
+from repro.datasets.synthetic import generator_for
+
+LINES = [
+    b"auth failure for root from 1.2.3.4",
+    b"pbs_mom: job 17 spawned",
+    b"job 18 failed with signal 11",
+    b"RAS KERNEL INFO all ok",
+    b"job 19 failed pbs_mom: cleanup",
+] * 4
+
+
+class TestGrep:
+    def test_grep_lines(self):
+        q = parse_query("failed")
+        assert len(grep_lines(q, LINES)) == 8
+
+    def test_grep_indices_in_order(self):
+        q = parse_query("failed AND NOT pbs_mom:")
+        idx = grep_indices(q, LINES)
+        assert idx == [2, 7, 12, 17]
+
+
+class TestScanDatabase:
+    def test_matches_oracle(self):
+        db = ScanDatabase(LINES)
+        q = parse_query("failure OR spawned")
+        assert db.execute(q).matching_indices == grep_indices(q, LINES)
+
+    def test_scans_everything(self):
+        db = ScanDatabase(LINES)
+        result = db.execute(parse_query("failed"))
+        assert result.lines_scanned == len(LINES)
+        assert result.bytes_scanned == db.total_bytes
+
+    def test_more_terms_cost_more_time(self):
+        db = ScanDatabase(LINES)
+        small = db.execute(parse_query("failed"))
+        big = db.execute(parse_query(" OR ".join(f"t{i}" for i in range(40))))
+        assert big.elapsed_s > small.elapsed_s
+        assert big.effective_throughput(db.total_bytes) < small.effective_throughput(
+            db.total_bytes
+        )
+
+    def test_cpu_bound_on_realistic_corpus(self):
+        # the model must reproduce the paper's observation: CPU cost
+        # dominates the 7 GB/s storage even for the simplest query
+        lines = generator_for("Liberty2").generate(2000)
+        db = ScanDatabase(lines)
+        result = db.execute(parse_query("kernel:"))
+        storage_time = db.total_bytes / db.cost_model.storage_bandwidth
+        assert result.elapsed_s > storage_time
+
+    def test_throughput_in_paper_band(self):
+        # MonetDB singles land ~0.6-2.9 GB/s; 8-combos ~0.05-0.6 GB/s
+        lines = generator_for("BGL2").generate(3000)
+        db = ScanDatabase(lines)
+        single = db.execute(parse_query("KERNEL AND INFO AND corrected"))
+        gbps = single.effective_throughput(db.total_bytes) / 1e9
+        assert 0.3 < gbps < 4.0
+        combo = db.execute(
+            parse_query(" OR ".join(f"(a{i} AND b{i} AND c{i} AND d{i} AND e{i})" for i in range(8)))
+        )
+        gbps8 = combo.effective_throughput(db.total_bytes) / 1e9
+        assert gbps8 < gbps / 3
+
+
+class TestSplunkLike:
+    def test_matches_oracle(self):
+        engine = SplunkLikeEngine(LINES, bucket_lines=4)
+        q = parse_query("failed AND NOT pbs_mom:")
+        assert engine.execute(q).matching_indices == grep_indices(q, LINES)
+
+    def test_index_narrows_candidates(self):
+        lines = generator_for("Liberty2").generate(4000)
+        engine = SplunkLikeEngine(lines)
+        rare = parse_query("panic:")
+        result = engine.execute(rare)
+        assert result.candidate_lines < len(lines)
+        assert not result.full_scan
+
+    def test_negative_only_query_scans_everything(self):
+        engine = SplunkLikeEngine(LINES, bucket_lines=4)
+        result = engine.execute(parse_query("NOT job"))
+        assert result.full_scan
+        assert result.candidate_lines == len(LINES)
+
+    def test_amortization_divides_by_threads(self):
+        engine = SplunkLikeEngine(LINES)
+        result = engine.execute(parse_query("failed"))
+        assert result.amortized_elapsed_s == pytest.approx(
+            result.raw_elapsed_s / 12
+        )
+
+    def test_full_scan_slower_than_selective(self):
+        lines = generator_for("Liberty2").generate(4000)
+        engine = SplunkLikeEngine(lines)
+        selective = engine.execute(parse_query("panic:"))
+        negative = engine.execute(parse_query("NOT kernel:"))
+        assert negative.amortized_elapsed_s > selective.amortized_elapsed_s
+
+    def test_invalid_bucket_size(self):
+        with pytest.raises(ValueError):
+            SplunkLikeEngine(LINES, bucket_lines=0)
+
+    def test_unknown_token_query_is_cheap(self):
+        engine = SplunkLikeEngine(LINES, bucket_lines=4)
+        result = engine.execute(parse_query("zzz-not-present"))
+        assert result.matching_indices == []
+        assert result.candidate_lines == 0

@@ -1,0 +1,63 @@
+"""Tests for the HAWK-style multi-byte-per-step matcher."""
+
+import re
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.regexdfa import MultiByteMatcher, RegexMatcher
+from repro.errors import QueryParseError
+
+PATTERNS = [
+    "FATAL",
+    "err[0-9]+",
+    "(cat|dog)+",
+    "ab*c?d",
+    r"\w+:\d+",
+    "a.c",
+]
+
+
+class TestEquivalenceWithSingleByte:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    @pytest.mark.parametrize("width", [1, 2, 3])
+    def test_matches_single_byte_engine(self, pattern, width):
+        single = RegexMatcher(pattern)
+        multi = MultiByteMatcher(pattern, width=width)
+        probes = [
+            b"", b"F", b"FATAL", b"xFATALy", b"err1", b"err", b"catdog",
+            b"abbbd", b"abc", b"a:1", b"tag:42", b"axc", b"a\nc", b"zz",
+            b"odd-length-probe!", b"even-len-probe!!",
+        ]
+        for probe in probes:
+            assert multi.search(probe) == single.search(probe), (pattern, probe)
+
+    @given(st.sampled_from(PATTERNS), st.binary(max_size=33))
+    @settings(max_examples=300)
+    def test_agrees_with_python_re(self, pattern, data):
+        multi = MultiByteMatcher(pattern, width=2)
+        assert multi.search(data) == bool(re.search(pattern.encode(), data))
+
+    def test_match_inside_block_not_stepped_over(self):
+        # 'ab' ends at an odd offset: a 2-wide step must still catch it
+        multi = MultiByteMatcher("ab", width=2)
+        assert multi.search(b"xaby")
+        assert multi.search(b"ab")
+        assert multi.search(b"xxxab")
+
+    def test_empty_matching_pattern(self):
+        assert MultiByteMatcher("a*", width=2).search(b"zzz")
+
+
+class TestAreaScaling:
+    def test_wide_table_grows_geometrically(self):
+        w1 = MultiByteMatcher("err[0-9]+", width=1)
+        w2 = MultiByteMatcher("err[0-9]+", width=2)
+        w3 = MultiByteMatcher("err[0-9]+", width=3)
+        # entries scale ~ classes^width: the HAWK area explosion
+        assert w2.wide_table_entries > 3 * w1.wide_table_entries
+        assert w3.wide_table_entries > 3 * w2.wide_table_entries
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(QueryParseError):
+            MultiByteMatcher("a", width=0)

@@ -1,0 +1,192 @@
+"""Tests for the HARE-like regex DFA engine."""
+
+import re
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.regexdfa import (
+    HareModel,
+    RegexMatcher,
+    RegexPredicate,
+    escape_token,
+)
+from repro.errors import QueryParseError
+
+
+class TestBasicMatching:
+    def test_literal(self):
+        m = RegexMatcher("FATAL")
+        assert m.search(b"RAS KERNEL FATAL error")
+        assert not m.search(b"RAS KERNEL INFO ok")
+
+    def test_substring_semantics(self):
+        # regexes match inside tokens - the capability token filters lack
+        assert RegexMatcher("ERN").search(b"KERNEL")
+
+    def test_alternation(self):
+        m = RegexMatcher("cat|dog")
+        assert m.search(b"hotdog stand")
+        assert m.search(b"catalog")
+        assert not m.search(b"bird")
+
+    def test_star(self):
+        m = RegexMatcher("ab*c")
+        assert m.search(b"ac")
+        assert m.search(b"abbbbc")
+        assert not m.search(b"a-c")
+
+    def test_plus(self):
+        m = RegexMatcher("ab+c")
+        assert not m.search(b"ac")
+        assert m.search(b"abc")
+
+    def test_optional(self):
+        m = RegexMatcher("colou?r")
+        assert m.search(b"color")
+        assert m.search(b"colour")
+
+    def test_dot_excludes_newline(self):
+        m = RegexMatcher("a.c")
+        assert m.search(b"abc")
+        assert not m.search(b"a\nc")
+
+    def test_char_class(self):
+        m = RegexMatcher("err[0-9]+")
+        assert m.search(b"err42")
+        assert not m.search(b"errx")
+
+    def test_negated_class(self):
+        m = RegexMatcher("a[^0-9]c")
+        assert m.search(b"abc")
+        assert not m.search(b"a5c")
+
+    def test_escapes(self):
+        assert RegexMatcher(r"\d\d\d").search(b"port 443 open")
+        assert RegexMatcher(r"a\.b").search(b"a.b")
+        assert not RegexMatcher(r"a\.b").search(b"axb")
+        assert RegexMatcher(r"\w+=\d+").search(b"code=102")
+
+    def test_grouping(self):
+        m = RegexMatcher("(ab)+c")
+        assert m.search(b"ababc")
+        assert not m.search(b"aac")
+
+    def test_empty_pattern_matches_everything(self):
+        assert RegexMatcher("a*").search(b"zzz")
+        assert RegexMatcher("").search(b"")
+
+    def test_malformed_patterns_rejected(self):
+        for bad in ("(", "a)", "[", "a|*", "*a", "[z-a]"):
+            with pytest.raises(QueryParseError):
+                RegexMatcher(bad)
+
+    def test_dfa_is_reasonably_small(self):
+        m = RegexMatcher("(RAS|KERNEL) [A-Z]+ (INFO|FATAL)")
+        assert m.dfa_states < 200
+
+
+PATTERN_CORPUS = [
+    "FATAL",
+    "err[0-9]+",
+    "(cat|dog)+",
+    "ab*c?d",
+    "k[a-f]*z",
+    r"\w+:\d+",
+    "x(y|z)*w",
+    "[^ ]+@[^ ]+",
+    "a.c.e",
+    "(ab|ba)(ab|ba)*",
+]
+
+
+class TestAgainstPythonRe:
+    @pytest.mark.parametrize("pattern", PATTERN_CORPUS)
+    def test_known_patterns_agree(self, pattern):
+        ours = RegexMatcher(pattern)
+        ref = re.compile(pattern.encode())
+        probes = [
+            b"", b"FATAL", b"err123", b"catdogcat", b"abbcd", b"abd",
+            b"kabcz", b"kz", b"user@host", b"a c e", b"abcde", b"axcxe",
+            b"tag:42", b"xyzw", b"xw", b"ababab", b"ba", b"zzz",
+        ]
+        for probe in probes:
+            assert ours.search(probe) == bool(ref.search(probe)), (pattern, probe)
+
+    @given(
+        st.sampled_from(PATTERN_CORPUS),
+        st.binary(max_size=40),
+    )
+    @settings(max_examples=300)
+    def test_random_inputs_agree(self, pattern, data):
+        ours = RegexMatcher(pattern)
+        ref = re.compile(pattern.encode())
+        assert ours.search(data) == bool(ref.search(data))
+
+    @given(
+        st.lists(
+            st.sampled_from(["a", "b", "ab", "a*", "b+", "(a|b)", "[ab]?", "."]),
+            min_size=1,
+            max_size=5,
+        ),
+        st.text(alphabet="ab\n x", max_size=12),
+    )
+    @settings(max_examples=300)
+    def test_generated_patterns_agree(self, parts, text):
+        pattern = "".join(parts)
+        data = text.encode()
+        ours = RegexMatcher(pattern)
+        ref = re.compile(pattern.encode())
+        assert ours.search(data) == bool(ref.search(data))
+
+
+class TestRegexPredicate:
+    def test_conjunction_with_negation(self):
+        predicate = RegexPredicate.of(["failed"], ["pbs_mom:"])
+        assert predicate.matches(b"job failed badly")
+        assert not predicate.matches(b"job failed pbs_mom: cleanup")
+
+    def test_matches_token_query_semantics_on_whole_tokens(self):
+        from repro.core.query import parse_query
+
+        query = parse_query("failed AND NOT pbs_mom:")
+        predicate = RegexPredicate.of(
+            [escape_token(b"failed")], [escape_token(b"pbs_mom:")]
+        )
+        lines = [
+            b"job failed now",
+            b"job failed pbs_mom: x",
+            b"nothing here",
+        ]
+        for line in lines:
+            assert predicate.matches(line) == query.matches_line(line)
+
+    def test_substring_generality_difference(self):
+        # 'fail' as regex matches inside 'failed'; the token filter doesn't
+        from repro.core.query import parse_query
+
+        predicate = RegexPredicate.of(["fail"])
+        query = parse_query("fail")
+        line = b"job failed"
+        assert predicate.matches(line)
+        assert not query.matches_line(line)
+
+    def test_escape_token_handles_specials(self):
+        token = b"a+b(c)[d]."
+        m = RegexMatcher(escape_token(token))
+        assert m.search(b"x a+b(c)[d]. y")
+        assert not m.search(b"aab(c)[d]x")
+
+
+class TestHareModel:
+    def test_published_operating_point(self):
+        model = HareModel()
+        assert model.kluts_per_gbps == pytest.approx(137.5)
+        assert model.scan_seconds(400_000_000) == pytest.approx(1.0)
+
+    def test_mithrilog_efficiency_gap(self):
+        from repro.hw.resources import PIPELINE
+
+        model = HareModel()
+        mithrilog = PIPELINE.luts / 1e3 / 3.2
+        assert model.kluts_per_gbps / mithrilog > 5

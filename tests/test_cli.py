@@ -1,0 +1,142 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def log_file(tmp_path):
+    path = tmp_path / "test.log"
+    code = main(
+        ["generate", "--dataset", "BGL2", "--lines", "800", "--out", str(path)]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture()
+def store(tmp_path, log_file):
+    path = tmp_path / "store"
+    code = main(["ingest", "--log", str(log_file), "--store", str(path)])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_generates_requested_lines(self, log_file):
+        assert len(log_file.read_bytes().splitlines()) == 800
+
+    def test_deterministic_with_seed(self, tmp_path):
+        a, b = tmp_path / "a.log", tmp_path / "b.log"
+        for out in (a, b):
+            main(["--seed", "5", "generate", "--dataset", "Spirit2",
+                  "--lines", "100", "--out", str(out)])
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestIngestAndQuery:
+    def test_ingest_creates_store(self, store):
+        assert (store / "pages.bin").exists()
+        assert (store / "store.json").exists()
+
+    def test_query_finds_lines(self, store, capsys):
+        code = main(["query", "--store", str(store), "KERNEL AND INFO"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "matching lines" in out
+        assert "GB/s effective" in out
+
+    def test_query_no_index(self, store, capsys):
+        code = main(["query", "--store", str(store), "--no-index", "FATAL"])
+        assert code == 0
+        assert "matching lines" in capsys.readouterr().out
+
+    def test_query_stop_after_newest_first(self, store, capsys):
+        code = main(
+            ["query", "--store", str(store), "--stop-after", "3",
+             "--newest-first", "RAS"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 matching lines" in out
+
+    def test_query_explain(self, store, capsys):
+        code = main(["query", "--store", str(store), "--explain", "RAS AND FATAL"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan:" in out
+        assert "estimated candidates:" in out
+
+    def test_query_aggregate(self, store, capsys):
+        code = main(["query", "--store", str(store), "--aggregate", "RAS"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top hosts:" in out
+
+    def test_query_limit(self, store, capsys):
+        code = main(["query", "--store", str(store), "--limit", "2", "RAS"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "more (raise --limit" in out
+
+    def test_stats(self, store, capsys):
+        code = main(["stats", "--store", str(store)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lines: 800" in out
+        assert "data pages:" in out
+
+    def test_query_missing_store_fails_cleanly(self, tmp_path, capsys):
+        code = main(["query", "--store", str(tmp_path / "none"), "x"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_query_fails_cleanly(self, store, capsys):
+        code = main(["query", "--store", str(store), "(unbalanced"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTagCommand:
+    def test_tag_histogram(self, log_file, capsys):
+        code = main(["tag", "--log", str(log_file), "--top", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lines tagged" in out
+        assert "accelerator" in out
+
+
+class TestTimeBoundedQuery:
+    def test_since_until_flags(self, store, capsys):
+        # the synthetic epochs start around 1117838570
+        code = main(
+            [
+                "query", "--store", str(store),
+                "--since", "0", "--until", "9999999999",
+                "KERNEL",
+            ]
+        )
+        assert code == 0
+        assert "matching lines" in capsys.readouterr().out
+
+
+class TestTemplatesAndCompress:
+    def test_templates(self, log_file, capsys):
+        code = main(["templates", "--log", str(log_file), "--top", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "templates extracted" in out
+        assert "query:" in out
+
+    def test_compress(self, log_file, capsys):
+        code = main(["compress", "--log", str(log_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("LZAH", "LZRW1", "LZ4", "Snappy", "Gzip"):
+            assert name in out
+
+    def test_missing_log_fails_cleanly(self, tmp_path, capsys):
+        code = main(["templates", "--log", str(tmp_path / "none.log")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

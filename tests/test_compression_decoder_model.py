@@ -1,0 +1,82 @@
+"""Tests for the hardware decoder cycle model (Figure 10)."""
+
+import pytest
+
+from repro.compression.decoder_model import DecoderCycleModel
+from repro.compression.lzah import LZAHCompressor
+from repro.params import CLOCK_HZ, DATAPATH_BYTES, LZAHParams
+
+LINE = b"Jul  5 12:00:01 sn352 kernel: RAS KERNEL INFO generating core.2275\n"
+
+
+@pytest.fixture
+def model():
+    return DecoderCycleModel()
+
+
+class TestDecoderCycles:
+    def test_empty_stream_zero_cycles(self, model):
+        compressed = LZAHCompressor().compress(b"")
+        count = model.count(compressed)
+        assert count.cycles == 0
+        assert count.throughput_bytes_per_sec == 0.0
+
+    def test_one_cycle_per_output_word(self, model):
+        data = b"x" * 160  # 10 full words, no newlines
+        compressed = LZAHCompressor().compress(data)
+        count = model.count(compressed)
+        assert count.output_words == 10
+        assert count.header_words == 1
+        assert count.cycles == 11
+
+    def test_cycles_independent_of_compression_ratio(self, model):
+        # same word count whether matched or literal
+        compressible = (b"z" * 15 + b"\n") * 256
+        codec = LZAHCompressor()
+        count = model.count(codec.compress(compressible))
+        assert count.output_words == 256
+        assert count.header_words == 2
+
+    def test_deterministic_rate_is_wire_speed(self, model):
+        assert model.deterministic_rate_bytes_per_sec() == pytest.approx(
+            DATAPATH_BYTES * CLOCK_HZ
+        )
+
+    def test_throughput_close_to_wire_speed_on_full_words(self, model):
+        data = bytes(range(32, 127)) * 173  # full words, no newline bytes
+        data = data[: 1024 * 16]
+        compressed = LZAHCompressor().compress(data)
+        count = model.count(compressed)
+        # header-word overhead is 1/128
+        assert count.throughput_bytes_per_sec == pytest.approx(
+            model.deterministic_rate_bytes_per_sec() * 128 / 129, rel=1e-6
+        )
+
+    def test_short_lines_reduce_effective_rate(self, model):
+        # 4-byte lines emit one word per 4 useful bytes
+        data = b"ab\n" * 1000
+        compressed = LZAHCompressor().compress(data)
+        count = model.count(compressed)
+        assert count.throughput_bytes_per_sec < (
+            model.deterministic_rate_bytes_per_sec() / 4
+        )
+
+    def test_decompressed_bytes_tracked(self, model):
+        data = LINE * 20
+        count = model.count(LZAHCompressor().compress(data))
+        assert count.decompressed_bytes == len(data)
+
+    def test_custom_clock_scales_time(self):
+        slow = DecoderCycleModel(clock_hz=CLOCK_HZ // 2)
+        data = LINE * 20
+        compressed = LZAHCompressor().compress(data)
+        fast_count = DecoderCycleModel().count(compressed)
+        slow_count = slow.count(compressed)
+        assert slow_count.seconds == pytest.approx(2 * fast_count.seconds)
+
+    def test_params_must_match_stream(self):
+        params = LZAHParams(word_bytes=8, hash_table_bytes=64 * 8)
+        data = LINE * 5
+        compressed = LZAHCompressor(params).compress(data)
+        model = DecoderCycleModel(params)
+        assert model.count(compressed).decompressed_bytes == len(data)

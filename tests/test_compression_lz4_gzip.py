@@ -1,0 +1,123 @@
+"""Tests for the LZ4-block-format and gzip baselines."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.gziplike import GzipCompressor
+from repro.compression.lz4like import LZ4LikeCompressor
+from repro.errors import CompressedFormatError
+
+LINE = b"Jun 14 15:16:01 combo sshd(pam_unix)[19939]: authentication failure\n"
+
+
+class TestLZ4RoundTrip:
+    def test_empty(self):
+        codec = LZ4LikeCompressor()
+        assert codec.decompress(codec.compress(b"")) == b""
+
+    def test_tiny_inputs(self):
+        codec = LZ4LikeCompressor()
+        for size in range(1, 20):
+            data = b"ab" * size
+            assert codec.decompress(codec.compress(data)) == data
+
+    def test_log_corpus(self):
+        codec = LZ4LikeCompressor()
+        data = LINE * 300
+        compressed = codec.compress(data)
+        assert codec.decompress(compressed) == data
+        assert len(compressed) < len(data) / 5
+
+    def test_long_literal_runs(self):
+        import random
+
+        rng = random.Random(11)
+        data = bytes(rng.randrange(256) for _ in range(5000))
+        codec = LZ4LikeCompressor()
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_long_match_runs(self):
+        codec = LZ4LikeCompressor()
+        data = b"A" * 100_000
+        compressed = codec.compress(data)
+        assert codec.decompress(compressed) == data
+        assert len(compressed) < 500
+
+    def test_overlapping_matches(self):
+        codec = LZ4LikeCompressor()
+        data = b"abcabcabcabcabcabcabcabcabcabcabcabc" * 10
+        assert codec.decompress(codec.compress(data)) == data
+
+    @given(st.binary(max_size=4096))
+    @settings(max_examples=150)
+    def test_roundtrip_arbitrary(self, data):
+        codec = LZ4LikeCompressor()
+        assert codec.decompress(codec.compress(data)) == data
+
+
+class TestLZ4Malformed:
+    def test_empty_stream_rejected(self):
+        with pytest.raises(CompressedFormatError):
+            LZ4LikeCompressor().decompress(b"")
+
+    def test_bad_offset_rejected(self):
+        # token: 0 literals + match; offset 0xFFFF into empty history
+        stream = bytes([0x00, 0xFF, 0xFF])
+        with pytest.raises(CompressedFormatError):
+            LZ4LikeCompressor().decompress(stream)
+
+    def test_zero_offset_rejected(self):
+        stream = bytes([0x10, ord("a"), 0x00, 0x00])
+        with pytest.raises(CompressedFormatError):
+            LZ4LikeCompressor().decompress(stream)
+
+    def test_truncated_literals_rejected(self):
+        stream = bytes([0x50, ord("a")])  # claims 5 literals, has 1
+        with pytest.raises(CompressedFormatError):
+            LZ4LikeCompressor().decompress(stream)
+
+
+class TestGzip:
+    def test_roundtrip(self):
+        codec = GzipCompressor()
+        data = LINE * 100
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_best_ratio_of_family(self):
+        from repro.compression import (
+            LZ4LikeCompressor,
+            LZAHCompressor,
+            LZRW1Compressor,
+            compression_ratio,
+        )
+
+        data = LINE * 500
+        gzip_ratio = compression_ratio(GzipCompressor(), data)
+        for other in (LZ4LikeCompressor(), LZAHCompressor(), LZRW1Compressor()):
+            assert gzip_ratio >= compression_ratio(other, data)
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            GzipCompressor(level=10)
+
+    def test_malformed_stream_rejected(self):
+        with pytest.raises(CompressedFormatError):
+            GzipCompressor().decompress(b"not deflate data")
+
+    @given(st.binary(max_size=2000))
+    @settings(max_examples=50)
+    def test_roundtrip_arbitrary(self, data):
+        codec = GzipCompressor()
+        assert codec.decompress(codec.compress(data)) == data
+
+
+class TestCompressionRatioHelper:
+    def test_empty_input_ratio_one(self):
+        from repro.compression import compression_ratio
+
+        assert compression_ratio(GzipCompressor(), b"") == 1.0
+
+    def test_ratio_above_one_for_logs(self):
+        from repro.compression import compression_ratio
+
+        assert compression_ratio(GzipCompressor(), LINE * 50) > 5.0

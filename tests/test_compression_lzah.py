@@ -1,0 +1,181 @@
+"""Unit and property tests for LZAH (Section 5)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.lzah import LZAHCompressor
+from repro.errors import CompressedFormatError
+from repro.params import LZAHParams
+
+
+@pytest.fixture
+def codec():
+    return LZAHCompressor()
+
+
+LINE = b"Jul  5 12:00:01 sn352 kernel: RAS KERNEL INFO generating core.2275\n"
+
+
+class TestRoundTrip:
+    def test_empty(self, codec):
+        assert codec.decompress(codec.compress(b"")) == b""
+
+    def test_short_line(self, codec):
+        assert codec.decompress(codec.compress(b"hi\n")) == b"hi\n"
+
+    def test_no_trailing_newline(self, codec):
+        data = b"line one\nline two without newline"
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_repeated_lines(self, codec):
+        data = LINE * 100
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_exact_word_multiple(self, codec):
+        data = b"x" * 64
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_trailing_nul_bytes_preserved(self, codec):
+        data = b"abc\n" + b"\0" * 10
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_empty_lines(self, codec):
+        data = b"\n\n\na\n\n"
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_newline_at_word_boundary(self, codec):
+        data = b"x" * 15 + b"\n" + b"y" * 16
+        assert codec.decompress(codec.compress(data)) == data
+
+    @given(st.binary(max_size=2048))
+    @settings(max_examples=150)
+    def test_roundtrip_arbitrary_bytes(self, data):
+        codec = LZAHCompressor()
+        assert codec.decompress(codec.compress(data)) == data
+
+    @given(
+        st.lists(
+            st.text(
+                alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                max_size=60,
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100)
+    def test_roundtrip_text_lines(self, lines):
+        codec = LZAHCompressor()
+        data = "\n".join(lines).encode()
+        assert codec.decompress(codec.compress(data)) == data
+
+    @given(st.integers(2, 32), st.integers(1, 8), st.binary(max_size=600))
+    @settings(max_examples=60)
+    def test_roundtrip_parameter_variants(self, word, chunk_exp, data):
+        params = LZAHParams(
+            word_bytes=word,
+            pairs_per_chunk=8 * chunk_exp,
+            hash_table_bytes=64 * word,
+        )
+        codec = LZAHCompressor(params)
+        assert codec.decompress(codec.compress(data)) == data
+
+
+class TestCompressionBehaviour:
+    def test_repeated_lines_shrink_substantially(self, codec):
+        data = LINE * 500
+        ratio = len(data) / len(codec.compress(data))
+        assert ratio > 3.0
+
+    def test_newline_realignment_enables_matches(self):
+        # lines whose shared prefix would be destroyed by pure word-stepping
+        lines = [
+            b"INFO fixed prefix of this line varies " + str(i).encode() + b"\n"
+            for i in range(200)
+        ]
+        data = b"".join(lines)
+        codec = LZAHCompressor()
+        compressed = codec.compress(data)
+        assert codec.last_stats is not None
+        assert codec.last_stats.match_rate > 0.3
+        assert len(compressed) < len(data)
+
+    def test_unique_data_expands_bounded(self, codec):
+        import random
+
+        rng = random.Random(3)
+        data = bytes(rng.randrange(256) for _ in range(4096))
+        compressed = codec.compress(data)
+        # worst case ~ 1 header word per 128 pairs + full literal words
+        assert len(compressed) < len(data) * 1.2 + 64
+
+    def test_stats_track_matches_and_literals(self, codec):
+        codec.compress(LINE * 10)
+        stats = codec.last_stats
+        assert stats.words == stats.matches + stats.literals
+        assert stats.matches > 0
+
+    def test_match_payloads_are_two_bytes(self):
+        # all-matching stream compresses toward 16/2.125 ~ 7.5x
+        data = (b"z" * 15 + b"\n") * 2000
+        codec = LZAHCompressor()
+        ratio = len(data) / len(codec.compress(data))
+        assert 6.0 < ratio < 7.6
+
+
+class TestWordStream:
+    def test_words_are_zero_padded(self, codec):
+        compressed = codec.compress(b"ab\ncdef\n")
+        words = list(codec.decompress_words(compressed))
+        assert words[0][1] == b"ab\n" + b"\0" * 13
+        assert words[0][0] == b"ab\n"
+
+    def test_full_words_unpadded(self, codec):
+        compressed = codec.compress(b"x" * 32)
+        for consumed, padded in codec.decompress_words(compressed):
+            assert consumed == padded == b"x" * 16
+
+
+class TestMalformedStreams:
+    def test_too_short_stream(self, codec):
+        with pytest.raises(CompressedFormatError):
+            codec.decompress(b"\x01\x02")
+
+    def test_match_to_empty_slot(self, codec):
+        # 1 pair, header bit set, index 0, but nothing was ever inserted
+        header_word = (1).to_bytes(16, "little")
+        stream = (
+            (16).to_bytes(4, "little")
+            + (1).to_bytes(4, "little")
+            + header_word
+            + (0).to_bytes(2, "little")
+        )
+        with pytest.raises(CompressedFormatError):
+            codec.decompress(stream)
+
+    def test_declared_length_mismatch(self, codec):
+        good = codec.compress(b"hello world, this is a test line\n")
+        tampered = (999).to_bytes(4, "little") + good[4:]
+        with pytest.raises(CompressedFormatError):
+            codec.decompress(tampered)
+
+    def test_truncated_literal(self, codec):
+        good = codec.compress(b"some uncompressible text here")
+        with pytest.raises(CompressedFormatError):
+            codec.decompress(good[:-4])
+
+    def test_oversized_table_index_rejected(self):
+        params = LZAHParams(hash_table_bytes=64 * 16)  # 64 slots
+        codec = LZAHCompressor(params)
+        header_word = (1).to_bytes(16, "little")
+        stream = (
+            (16).to_bytes(4, "little")
+            + (1).to_bytes(4, "little")
+            + header_word
+            + (5000).to_bytes(2, "little")
+        )
+        with pytest.raises(CompressedFormatError):
+            codec.decompress(stream)
+
+    def test_u16_index_capacity_enforced(self):
+        with pytest.raises(ValueError):
+            LZAHCompressor(LZAHParams(hash_table_bytes=16 * (1 << 17)))

@@ -1,0 +1,98 @@
+"""Unit and property tests for the LZRW1 codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.lzrw1 import LZRW1Compressor
+from repro.errors import CompressedFormatError
+
+
+@pytest.fixture
+def codec():
+    return LZRW1Compressor()
+
+
+LOG_LINE = b"2026-07-05 12:00:01 node-17 kernel: RAS KERNEL INFO instruction cache parity error corrected\n"
+
+
+class TestRoundTrip:
+    def test_empty(self, codec):
+        assert codec.decompress(codec.compress(b"")) == b""
+
+    def test_single_byte(self, codec):
+        assert codec.decompress(codec.compress(b"x")) == b"x"
+
+    def test_log_text(self, codec):
+        data = LOG_LINE * 50
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_all_identical_bytes(self, codec):
+        data = b"a" * 10_000
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_binary_with_nulls(self, codec):
+        data = bytes(range(256)) * 20 + b"\0" * 100
+        assert codec.decompress(codec.compress(data)) == data
+
+    @given(st.binary(max_size=4096))
+    @settings(max_examples=150)
+    def test_roundtrip_arbitrary_bytes(self, data):
+        codec = LZRW1Compressor()
+        assert codec.decompress(codec.compress(data)) == data
+
+    @given(
+        st.lists(
+            st.sampled_from(
+                [b"RAS KERNEL INFO", b"ciod: error", b"pbs_mom: spawned", b"1.2.3.4"]
+            ),
+            max_size=100,
+        )
+    )
+    @settings(max_examples=50)
+    def test_roundtrip_log_like(self, tokens):
+        codec = LZRW1Compressor()
+        data = b"\n".join(b" ".join([t, t]) for t in tokens)
+        assert codec.decompress(codec.compress(data)) == data
+
+
+class TestCompressionBehaviour:
+    def test_repetitive_logs_shrink(self, codec):
+        data = LOG_LINE * 200
+        assert len(codec.compress(data)) < len(data) / 2
+
+    def test_incompressible_data_stored_raw(self, codec):
+        import random
+
+        rng = random.Random(7)
+        data = bytes(rng.randrange(256) for _ in range(2048))
+        compressed = codec.compress(data)
+        # raw fallback: one flag byte of overhead only
+        assert len(compressed) == len(data) + 1
+        assert codec.decompress(compressed) == data
+
+    def test_copies_limited_to_window(self, codec):
+        # a repeat farther than 4095 bytes cannot be matched
+        unique = bytes(range(256)) * 17  # 4352 bytes > window
+        data = b"HEADER-PATTERN" + unique + b"HEADER-PATTERN"
+        assert codec.decompress(codec.compress(data)) == data
+
+
+class TestMalformedStreams:
+    def test_empty_stream_rejected(self, codec):
+        with pytest.raises(CompressedFormatError):
+            codec.decompress(b"")
+
+    def test_unknown_flag_rejected(self, codec):
+        with pytest.raises(CompressedFormatError):
+            codec.decompress(b"\x07abc")
+
+    def test_copy_before_any_output_rejected(self, codec):
+        # control word says item 0 is a copy referencing earlier output
+        body = (1).to_bytes(2, "little") + bytes([0x00, 0x01])
+        with pytest.raises(CompressedFormatError):
+            codec.decompress(b"\x00" + body)
+
+    def test_truncated_copy_item_rejected(self, codec):
+        body = (1).to_bytes(2, "little") + bytes([0x00])
+        with pytest.raises(CompressedFormatError):
+            codec.decompress(b"\x00" + body)

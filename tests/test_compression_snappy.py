@@ -1,0 +1,125 @@
+"""Tests for the Snappy block-format codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.snappylike import SnappyLikeCompressor
+from repro.errors import CompressedFormatError
+
+LINE = b"Jun 14 15:16:01 combo sshd(pam_unix)[19939]: authentication failure\n"
+
+
+@pytest.fixture
+def codec():
+    return SnappyLikeCompressor()
+
+
+class TestRoundTrip:
+    def test_empty(self, codec):
+        assert codec.decompress(codec.compress(b"")) == b""
+
+    def test_short(self, codec):
+        assert codec.decompress(codec.compress(b"abc")) == b"abc"
+
+    def test_log_corpus(self, codec):
+        data = LINE * 400
+        compressed = codec.compress(data)
+        assert codec.decompress(compressed) == data
+        assert len(compressed) < len(data) / 4
+
+    def test_long_runs(self, codec):
+        data = b"A" * 100_000
+        compressed = codec.compress(data)
+        assert codec.decompress(compressed) == data
+        # ~3 bytes per 64-byte copy element (snappy caps copy length at 64)
+        assert len(compressed) < 6000
+
+    def test_long_literal_run(self, codec):
+        import random
+
+        rng = random.Random(5)
+        data = bytes(rng.randrange(256) for _ in range(70_000))
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_overlapping_copies(self, codec):
+        data = b"abcabcabcabc" * 50
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_far_offsets_use_wide_copies(self, codec):
+        marker = b"UNIQUE-MARKER-SEQUENCE"
+        filler = bytes((i * 7 + i // 251) % 256 for i in range(70_000))
+        data = marker + filler + marker
+        assert codec.decompress(codec.compress(data)) == data
+
+    @given(st.binary(max_size=4096))
+    @settings(max_examples=150)
+    def test_roundtrip_arbitrary(self, data):
+        codec = SnappyLikeCompressor()
+        assert codec.decompress(codec.compress(data)) == data
+
+    @given(st.lists(st.sampled_from([LINE[:20], b"xyz ", b"12345 "]), max_size=200))
+    @settings(max_examples=50)
+    def test_roundtrip_log_like(self, parts):
+        codec = SnappyLikeCompressor()
+        data = b"".join(parts)
+        assert codec.decompress(codec.compress(data)) == data
+
+
+class TestFormatDetails:
+    def test_preamble_is_varint_length(self, codec):
+        compressed = codec.compress(b"x" * 300)
+        # 300 = 0xAC 0x02 little-endian varint
+        assert compressed[0] == 0xAC and compressed[1] == 0x02
+
+    def test_literal_only_stream(self, codec):
+        compressed = codec.compress(b"ab")
+        # varint(2), tag (len-1)<<2, payload
+        assert compressed == bytes([0x02, 0x04]) + b"ab"
+
+    def test_copy1_used_for_near_matches(self, codec):
+        # a 4-byte match at offset 8: exactly the copy1 operating range
+        data = b"0123abcd0123"
+        compressed = codec.compress(data)
+        kinds = set()
+        pos = 1  # skip 1-byte varint
+        while pos < len(compressed):
+            tag = compressed[pos]
+            kind = tag & 3
+            kinds.add(kind)
+            if kind == 0:
+                length = (tag >> 2) + 1
+                pos += 1 + length
+            elif kind == 1:
+                pos += 2
+            elif kind == 2:
+                pos += 3
+            else:
+                pos += 5
+        assert 1 in kinds  # at least one short-offset copy
+
+
+class TestMalformed:
+    def test_empty_stream(self, codec):
+        with pytest.raises(CompressedFormatError):
+            codec.decompress(b"")
+
+    def test_declared_length_mismatch(self, codec):
+        good = bytearray(codec.compress(b"hello world"))
+        good[0] += 1  # claim one more byte than decoded
+        with pytest.raises(CompressedFormatError):
+            codec.decompress(bytes(good))
+
+    def test_bad_offset(self, codec):
+        # varint(4), copy2 tag len=4, offset 9999 into empty history
+        stream = bytes([0x04, 0x02 | (3 << 2)]) + (9999).to_bytes(2, "little")
+        with pytest.raises(CompressedFormatError):
+            codec.decompress(stream)
+
+    def test_truncated_literal(self, codec):
+        stream = bytes([0x05, 0x10]) + b"ab"  # claims 5 literal bytes
+        with pytest.raises(CompressedFormatError):
+            codec.decompress(stream)
+
+    def test_runaway_varint(self, codec):
+        with pytest.raises(CompressedFormatError):
+            codec.decompress(b"\xff" * 8)

@@ -1,0 +1,110 @@
+"""Tests for the filter pipeline (Figure 3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.lzah import LZAHCompressor
+from repro.core.hashfilter import compile_queries
+from repro.core.pipeline import FilterPipeline
+from repro.core.query import Query, parse_query
+from repro.params import PipelineParams
+
+LINES = [
+    b"R23-M0 RAS KERNEL INFO instruction cache parity error corrected",
+    b"R23-M0 RAS KERNEL FATAL data TLB error interrupt",
+    b"job 1234 failed on node sn201",
+    b"pbs_mom: spawned job 99",
+    b"",
+    b"R23-M0 RAS APP FATAL ciod: error creating node map",
+]
+
+
+@pytest.fixture
+def program():
+    return compile_queries([parse_query("RAS AND KERNEL AND NOT FATAL")])
+
+
+class TestPipelineProcessing:
+    def test_verdicts_in_input_order(self, program):
+        pipeline = FilterPipeline(program)
+        result = pipeline.process_lines(LINES)
+        assert result.kept_any() == [True, False, False, False, False, False]
+
+    def test_matches_oracle_line_by_line(self, program):
+        pipeline = FilterPipeline(program)
+        query = parse_query("RAS AND KERNEL AND NOT FATAL")
+        result = pipeline.process_lines(LINES)
+        for line, verdict in zip(LINES, result.verdicts):
+            assert verdict == (query.matches_line(line),)
+
+    def test_more_lines_than_lanes(self, program):
+        pipeline = FilterPipeline(program)
+        lines = LINES * 10  # 60 lines across 8 lanes
+        result = pipeline.process_lines(lines)
+        assert result.lines == 60
+        assert result.kept_any() == [l.startswith(b"R23-M0 RAS KERNEL INFO") for l in lines]
+
+    def test_token_counter(self, program):
+        pipeline = FilterPipeline(program)
+        result = pipeline.process_lines([b"a b c", b"d e"])
+        assert result.tokens == 5
+
+    def test_lanes_and_filters_instantiated_per_params(self, program):
+        params = PipelineParams(tokenizers=4, hash_filters=2, datapath_bytes=8)
+        pipeline = FilterPipeline(program, params)
+        assert len(pipeline.lanes) == 4
+        assert len(pipeline.filters) == 2
+
+    def test_work_spreads_across_filters(self, program):
+        pipeline = FilterPipeline(program)
+        pipeline.process_lines(LINES * 4)
+        counts = [f.lines_processed for f in pipeline.filters]
+        assert all(c > 0 for c in counts)
+        assert sum(counts) == len(LINES) * 4
+
+
+class TestDecompressorHookup:
+    def test_compressed_page_filtering(self, program):
+        codec = LZAHCompressor()
+        text = b"\n".join(LINES) + b"\n"
+        page = codec.compress(text)
+        pipeline = FilterPipeline(program, decompressor=codec)
+        result = pipeline.process_compressed_page(page)
+        assert result.lines == len(LINES)
+        assert result.kept_any()[0] is True
+
+    def test_missing_decompressor_raises(self, program):
+        pipeline = FilterPipeline(program)
+        with pytest.raises(ValueError):
+            pipeline.process_compressed_page(b"anything")
+
+
+class TestPipelineCycles:
+    def test_cycle_count_positive(self, program):
+        pipeline = FilterPipeline(program)
+        count = pipeline.count_cycles(LINES)
+        assert count.cycles > 0
+        assert count.raw_bytes == sum(len(l) + 1 for l in LINES)
+
+    def test_throughput_below_wire_speed(self, program):
+        pipeline = FilterPipeline(program)
+        count = pipeline.count_cycles(LINES * 20)
+        wire = pipeline.params.wire_speed_bytes_per_sec
+        assert 0 < count.throughput_bytes_per_sec <= wire
+
+    @given(
+        st.lists(
+            st.binary(max_size=60).filter(lambda l: b"\n" not in l),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50)
+    def test_functional_result_independent_of_lane_count(self, lines):
+        program = compile_queries([Query.single("needle")])
+        narrow = FilterPipeline(program, PipelineParams(tokenizers=8))
+        wide = FilterPipeline(program, PipelineParams(tokenizers=16))
+        assert (
+            narrow.process_lines(lines).verdicts
+            == wide.process_lines(lines).verdicts
+        )

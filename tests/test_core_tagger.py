@@ -1,0 +1,118 @@
+"""Tests for wire-speed template tagging."""
+
+import pytest
+
+from repro.core.query import Query, Term
+from repro.core.tagger import TemplateTagger
+from repro.errors import QueryError
+from repro.templates.fttree import FTTree, FTTreeParams
+
+
+def figure7_corpus():
+    lines = []
+    lines += [b"A B"] * 10
+    lines += [b"A C D"] * 6
+    lines += [b"A C D E"] * 4
+    return lines
+
+
+@pytest.fixture
+def tree():
+    return FTTree.from_lines(figure7_corpus(), FTTreeParams(prune_threshold=8))
+
+
+class TestTaggerBasics:
+    def test_empty_templates_rejected(self):
+        with pytest.raises(QueryError):
+            TemplateTagger([])
+
+    def test_multi_intersection_query_rejected(self):
+        bad = Query.single("A") | Query.single("B")
+        with pytest.raises(QueryError):
+            TemplateTagger([(0, bad)])
+
+    def test_single_template_tagging(self):
+        tagger = TemplateTagger([(7, Query.single("ERROR"))])
+        assert tagger.tag_line(b"an ERROR happened") == 7
+        assert tagger.tag_line(b"all fine") is None
+
+    def test_most_specific_template_wins(self):
+        broad = Query.single("A")
+        narrow = Query.single("A", "B")
+        tagger = TemplateTagger([(0, broad), (1, narrow)])
+        assert tagger.tag_line(b"A alone") == 0
+        assert tagger.tag_line(b"A B together") == 1
+
+    def test_specificity_tie_breaks_to_lower_id(self):
+        q1 = Query.single("A", "X")
+        q2 = Query.single("A", "Y")
+        tagger = TemplateTagger([(5, q1), (2, q2)])
+        assert tagger.tag_line(b"A X Y") == 2
+
+    def test_negative_terms_respected(self):
+        query = Query.single(Term("A"), Term("B", negative=True))
+        tagger = TemplateTagger([(0, query)])
+        assert tagger.tag_line(b"A C") == 0
+        assert tagger.tag_line(b"A B") is None
+
+
+class TestMultiPass:
+    def test_passes_respect_flag_pair_budget(self):
+        templates = [(i, Query.single(f"tok{i}")) for i in range(20)]
+        tagger = TemplateTagger(templates)
+        assert tagger.num_passes == 3  # ceil(20 / 8)
+        assert tagger.num_templates == 20
+
+    def test_templates_beyond_first_pass_still_tag(self):
+        templates = [(i, Query.single(f"tok{i}")) for i in range(20)]
+        tagger = TemplateTagger(templates)
+        assert tagger.tag_line(b"x tok17 y") == 17
+
+    def test_specificity_compared_across_passes(self):
+        templates = [(i, Query.single(f"pad{i}")) for i in range(8)]
+        templates.append((99, Query.single("pad0", "extra")))  # second pass
+        tagger = TemplateTagger(templates)
+        assert tagger.num_passes == 2
+        assert tagger.tag_line(b"pad0 extra") == 99
+
+
+class TestAgainstTreeClassification:
+    def test_agrees_with_fttree_on_figure7(self, tree):
+        tagger = TemplateTagger.from_tree(tree)
+        for line in figure7_corpus():
+            expected = tree.classify_line(line)
+            got = tagger.tag_line(line)
+            assert got == (expected.template_id if expected else None), line
+
+    def test_histogram_matches_supports(self, tree):
+        tagger = TemplateTagger.from_tree(tree)
+        hist = tagger.histogram(figure7_corpus())
+        by_tokens = {t.tokens: t for t in tree.templates}
+        assert hist[by_tokens[(b"A", b"B")].template_id] == 10
+        assert hist[by_tokens[(b"A", b"C", b"D")].template_id] == 6
+        assert hist[by_tokens[(b"A", b"C", b"D", b"E")].template_id] == 4
+
+    def test_synthetic_corpus_high_agreement(self):
+        from repro.datasets.synthetic import generator_for
+
+        lines = generator_for("BGL2").generate(600)
+        tree = FTTree.from_lines(
+            lines, FTTreeParams(max_depth=10, prune_threshold=32, max_doc_frequency=0.9)
+        )
+        tagger = TemplateTagger.from_tree(tree)
+        agree = 0
+        total = 0
+        for line in lines[:200]:
+            expected = tree.classify_line(line)
+            got = tagger.tag_line(line)
+            total += 1
+            if got == (expected.template_id if expected else None):
+                agree += 1
+        assert agree / total > 0.85
+
+    def test_tag_lines_shape(self, tree):
+        tagger = TemplateTagger.from_tree(tree)
+        tagged = tagger.tag_lines([b"A B", b"unknown"])
+        assert tagged[0].template_id is not None
+        assert tagged[1].template_id is None
+        assert tagged[0].line == b"A B"

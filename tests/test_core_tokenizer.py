@@ -1,0 +1,156 @@
+"""Tests for the hardware tokenizer model (Figure 4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tokenizer import (
+    Tokenizer,
+    TokenWord,
+    reassemble_tokens,
+    split_tokens,
+)
+
+PAPER_LINE = b"R24-M0-NC-I: J18-U01 RAS APP FATAL directory"
+
+
+class TestSplitTokens:
+    def test_basic_split(self):
+        assert split_tokens(b"RAS KERNEL INFO") == [b"RAS", b"KERNEL", b"INFO"]
+
+    def test_tabs_are_delimiters(self):
+        assert split_tokens(b"a\tb c") == [b"a", b"b", b"c"]
+
+    def test_runs_of_delimiters_collapse(self):
+        assert split_tokens(b"a   b\t\tc") == [b"a", b"b", b"c"]
+
+    def test_trailing_newline_stripped(self):
+        assert split_tokens(b"a b\n") == [b"a", b"b"]
+
+    def test_empty_line(self):
+        assert split_tokens(b"") == []
+        assert split_tokens(b"\n") == []
+        assert split_tokens(b"   \n") == []
+
+    def test_punctuation_stays_attached(self):
+        assert split_tokens(b"pbs_mom: failed") == [b"pbs_mom:", b"failed"]
+
+
+class TestTokenizer:
+    def test_paper_example_words(self):
+        words = Tokenizer().tokenize_line(PAPER_LINE)
+        tokens = [t for t, _ in reassemble_tokens(iter(words))]
+        assert tokens == [
+            b"R24-M0-NC-I:",
+            b"J18-U01",
+            b"RAS",
+            b"APP",
+            b"FATAL",
+            b"directory",
+        ]
+
+    def test_words_are_datapath_sized(self):
+        for word in Tokenizer().tokenize_line(PAPER_LINE):
+            assert len(word.data) == 16
+
+    def test_short_tokens_zero_padded(self):
+        words = Tokenizer().tokenize_line(b"RAS")
+        assert words[0].data == b"RAS" + b"\0" * 13
+        assert words[0].useful_bytes == 3
+
+    def test_long_token_spans_words(self):
+        token = b"x" * 35  # 3 words on a 16-byte datapath
+        words = Tokenizer().tokenize_line(token)
+        assert len(words) == 3
+        assert [w.last_of_token for w in words] == [False, False, True]
+        assert words[2].useful_bytes == 3
+
+    def test_last_of_line_only_on_final_word(self):
+        words = Tokenizer().tokenize_line(b"a b c")
+        flags = [w.last_of_line for w in words]
+        assert flags == [False, False, True]
+
+    def test_empty_line_emits_one_flagged_word(self):
+        words = Tokenizer().tokenize_line(b"")
+        assert len(words) == 1
+        assert words[0].last_of_line
+        assert words[0].useful_bytes == 0
+        assert words[0].data == b"\0" * 16
+
+    def test_all_delimiter_line_emits_one_flagged_word(self):
+        words = Tokenizer().tokenize_line(b"   \t ")
+        assert len(words) == 1
+        assert words[0].last_of_line
+
+    def test_token_index_increments(self):
+        words = Tokenizer().tokenize_line(b"a bb ccc")
+        assert [w.token_index for w in words] == [0, 1, 2]
+
+    def test_multiword_token_shares_index(self):
+        words = Tokenizer().tokenize_line(b"%s next" % (b"y" * 20))
+        assert [w.token_index for w in words] == [0, 0, 1]
+
+    def test_custom_datapath_width(self):
+        words = Tokenizer(datapath_bytes=4).tokenize_line(b"abcdef gh")
+        assert [w.data for w in words] == [b"abcd", b"ef\0\0", b"gh\0\0"]
+
+    def test_invalid_datapath_rejected(self):
+        with pytest.raises(ValueError):
+            Tokenizer(datapath_bytes=0)
+
+    def test_ingest_cycles_two_bytes_per_cycle(self):
+        tok = Tokenizer()
+        assert tok.ingest_cycles(b"abcd") == 3  # 5 bytes incl newline -> 3
+        assert tok.ingest_cycles(b"") == 1
+
+    def test_ingest_cycles_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Tokenizer().ingest_cycles(b"x", bytes_per_cycle=0)
+
+
+class TestReassembly:
+    def test_mid_token_stream_rejected(self):
+        words = Tokenizer().tokenize_line(b"x" * 20)
+        with pytest.raises(ValueError):
+            list(reassemble_tokens(iter(words[:1])))
+
+    @given(
+        st.lists(
+            st.binary(min_size=1, max_size=40).filter(
+                lambda t: not any(d in t for d in b" \t\n")
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=150)
+    def test_roundtrip_property(self, tokens):
+        line = b" ".join(tokens)
+        words = Tokenizer().tokenize_line(line)
+        rebuilt = [t for t, _ in reassemble_tokens(iter(words))]
+        assert rebuilt == tokens
+
+    @given(st.binary(max_size=120))
+    @settings(max_examples=150)
+    def test_reassembly_matches_split_tokens(self, line):
+        words = Tokenizer().tokenize_line(line)
+        rebuilt = [t for t, _ in reassemble_tokens(iter(words)) if t]
+        assert rebuilt == split_tokens(line)
+
+    @given(st.binary(max_size=120))
+    @settings(max_examples=100)
+    def test_exactly_one_last_of_line(self, line):
+        words = Tokenizer().tokenize_line(line)
+        assert sum(1 for w in words if w.last_of_line) == 1
+        assert words[-1].last_of_line
+
+
+class TestTokenWord:
+    def test_useful_bytes_bounded(self):
+        with pytest.raises(ValueError):
+            TokenWord(
+                data=b"ab",
+                last_of_token=True,
+                last_of_line=True,
+                token_index=0,
+                useful_bytes=5,
+            )

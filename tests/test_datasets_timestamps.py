@@ -1,0 +1,79 @@
+"""Tests for epoch extraction from log lines."""
+
+import pytest
+
+from repro.datasets.synthetic import generator_for
+from repro.datasets.timestamps import extract_epoch, extract_epochs
+
+
+class TestExtractEpoch:
+    def test_hpc4_column(self):
+        line = b"- 1117838570 2005.06.03 R02-M1 RAS KERNEL INFO ok"
+        assert extract_epoch(line) == 1117838570.0
+
+    def test_alert_tag_prefix(self):
+        line = b"KERNDTLB 1117838573 2005.06.03 node data TLB error"
+        assert extract_epoch(line) == 1117838573.0
+
+    def test_out_of_range_numbers_rejected(self):
+        assert extract_epoch(b"- 42 small number") is None
+        assert extract_epoch(b"- 99999999999 too big") is None
+
+    def test_no_epoch(self):
+        assert extract_epoch(b"plain message without numbers") is None
+        assert extract_epoch(b"") is None
+
+    def test_synthetic_generators_covered(self):
+        for name in ("BGL2", "Liberty2", "Spirit2", "Thunderbird"):
+            lines = generator_for(name).generate(50)
+            assert all(extract_epoch(line) is not None for line in lines), name
+
+
+class TestExtractEpochs:
+    def test_full_coverage(self):
+        lines = generator_for("BGL2").generate(100)
+        epochs = extract_epochs(lines)
+        assert epochs is not None
+        assert len(epochs) == 100
+        assert epochs == sorted(epochs)
+
+    def test_sparse_gaps_interpolated(self):
+        lines = generator_for("BGL2").generate(50)
+        lines[20] = b"corrupted line without epoch"
+        epochs = extract_epochs(lines)
+        assert epochs is not None
+        assert epochs[20] == epochs[19]
+
+    def test_strict_mode_rejects_gaps(self):
+        lines = generator_for("BGL2").generate(50)
+        lines[3] = b"no epoch here"
+        assert extract_epochs(lines, strict=True) is None
+
+    def test_hopeless_coverage_returns_none(self):
+        assert extract_epochs([b"a", b"b", b"c"]) is None
+
+    def test_too_many_gaps_returns_none(self):
+        lines = generator_for("BGL2").generate(10)
+        for i in range(0, 10, 2):
+            lines[i] = b"stripped"
+        assert extract_epochs(lines) is None
+
+
+class TestCliTimestampFlag:
+    def test_ingest_with_timestamps_and_time_query(self, tmp_path, capsys):
+        from repro.cli import main
+
+        log = tmp_path / "x.log"
+        main(["generate", "--dataset", "BGL2", "--lines", "500", "--out", str(log)])
+        code = main(
+            ["ingest", "--log", str(log), "--store", str(tmp_path / "s"),
+             "--timestamps"]
+        )
+        assert code == 0
+        assert "time index:" in capsys.readouterr().out
+        code = main(
+            ["query", "--store", str(tmp_path / "s"),
+             "--since", "1117838570", "KERNEL"]
+        )
+        assert code == 0
+        assert "matching lines" in capsys.readouterr().out

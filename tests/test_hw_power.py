@@ -1,0 +1,54 @@
+"""Unit tests for the power model (Table 8)."""
+
+import pytest
+
+from repro.hw.power import (
+    EfficiencyComparison,
+    efficiency_comparison,
+    mithrilog_power,
+    software_power,
+)
+
+
+class TestTable8:
+    def test_mithrilog_breakdown_matches_paper(self):
+        power = mithrilog_power()
+        assert power.cpu_memory_w == 90
+        assert power.storage_w == 24
+        assert power.fpga_w == 36
+        assert power.total_w == 150
+
+    def test_software_breakdown_matches_paper(self):
+        power = software_power()
+        assert power.cpu_memory_w == 160
+        assert power.storage_w == 10
+        assert power.fpga_w == 0
+        assert power.total_w == 170
+
+    def test_mithrilog_total_below_software(self):
+        assert mithrilog_power().total_w < software_power().total_w
+
+    def test_rows_shape(self):
+        rows = mithrilog_power().rows()
+        assert [label for label, _ in rows] == [
+            "CPU+Memory (Watt)",
+            "Total Storage (Watt)",
+            "2x FPGA (Watt)",
+            "Total (Watt)",
+        ]
+        assert rows[-1][1] == 150
+
+
+class TestEfficiency:
+    def test_order_of_magnitude_speedup_yields_order_of_magnitude_efficiency(self):
+        comparison = efficiency_comparison(speedup=10.0)
+        assert comparison.power_ratio < 1.0
+        assert comparison.efficiency_gain > 10.0
+
+    def test_unit_speedup_still_gains_from_lower_power(self):
+        comparison = efficiency_comparison(speedup=1.0)
+        assert comparison.efficiency_gain == pytest.approx(170 / 150)
+
+    def test_invalid_speedup_rejected(self):
+        with pytest.raises(ValueError):
+            efficiency_comparison(speedup=0.0)

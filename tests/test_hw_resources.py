@@ -1,0 +1,100 @@
+"""Unit tests for the FPGA resource accounting (Tables 2 and 4)."""
+
+import pytest
+
+from repro.hw.resources import (
+    DECOMPRESSOR,
+    HASH_FILTER,
+    LZAH_IP,
+    LZRW_IP,
+    PIPELINE,
+    PROTOTYPE_TOTAL,
+    TOKENIZER,
+    VC707,
+    compression_efficiency_table,
+    hare_comparison,
+    mithrilog_resource_table,
+    pipeline_component_sum,
+)
+
+
+class TestTable2:
+    """The derived percentages must match the paper's published ones."""
+
+    def test_decompressor_lut_fraction(self):
+        report = mithrilog_resource_table()[0]
+        assert report.lut_fraction == pytest.approx(0.014, abs=0.001)
+
+    def test_tokenizer_lut_fraction(self):
+        report = mithrilog_resource_table()[1]
+        assert report.lut_fraction == pytest.approx(0.003, abs=0.001)
+
+    def test_filter_lut_fraction(self):
+        report = mithrilog_resource_table()[2]
+        assert report.lut_fraction == pytest.approx(0.10, abs=0.005)
+
+    def test_pipeline_lut_fraction(self):
+        report = mithrilog_resource_table()[3]
+        assert report.lut_fraction == pytest.approx(0.20, abs=0.005)
+
+    def test_total_lut_fraction(self):
+        report = mithrilog_resource_table()[4]
+        assert report.lut_fraction == pytest.approx(0.74, abs=0.005)
+
+    def test_total_ramb36_fraction(self):
+        report = mithrilog_resource_table()[4]
+        assert report.ramb36_fraction == pytest.approx(0.41, abs=0.01)
+
+    def test_pipeline_components_agree_with_published_pipeline(self):
+        # cross-boundary synthesis optimisation makes the whole cheaper
+        # than the sum of standalone parts, but not wildly so
+        comp = pipeline_component_sum()
+        assert 0.75 * comp.luts <= PIPELINE.luts <= 1.25 * comp.luts
+
+    def test_four_pipelines_fit_in_two_vc707(self):
+        assert 4 * PIPELINE.luts <= 2 * VC707.luts
+
+    def test_rows_render(self):
+        for report in mithrilog_resource_table():
+            row = report.row()
+            assert report.module.name in row
+            assert "%" in row
+
+
+class TestTable4:
+    def test_lzah_throughput_is_wire_speed(self):
+        assert LZAH_IP.gbytes_per_sec == pytest.approx(3.2)
+
+    def test_lzah_efficiency(self):
+        assert LZAH_IP.gbps_per_klut == pytest.approx(0.8)
+
+    def test_lzah_beats_all_other_ips_on_efficiency(self):
+        others = [ip for ip in compression_efficiency_table() if ip.name != "LZAH"]
+        assert all(LZAH_IP.gbps_per_klut > ip.gbps_per_klut for ip in others)
+
+    def test_lzrw_efficiency_matches_paper(self):
+        assert LZRW_IP.gbps_per_klut == pytest.approx(0.27, abs=0.01)
+
+    def test_table_order_matches_paper(self):
+        names = [ip.name for ip in compression_efficiency_table()]
+        assert names == ["LZ4", "LZRW", "Snappy", "LZAH"]
+
+
+class TestHareComparison:
+    def test_order_of_magnitude_gap(self):
+        hare, mithrilog = hare_comparison()
+        assert hare.kluts_per_gbps == pytest.approx(145, rel=0.05)
+        assert mithrilog.kluts_per_gbps == pytest.approx(19, rel=0.05)
+        assert hare.kluts_per_gbps / mithrilog.kluts_per_gbps > 7
+
+
+class TestModuleScaling:
+    def test_scaled_multiplies_all_resources(self):
+        eight = TOKENIZER.scaled(8, "8x Tokenizer")
+        assert eight.luts == 8 * TOKENIZER.luts
+        assert eight.name == "8x Tokenizer"
+
+    def test_prototype_total_exceeds_four_pipelines(self):
+        # total includes PCIe/flash/aurora infrastructure beyond the pipelines
+        assert PROTOTYPE_TOTAL.luts < 4 * PIPELINE.luts + 50_000
+        assert PROTOTYPE_TOTAL.luts >= 3 * PIPELINE.luts

@@ -1,0 +1,112 @@
+"""Tests for the per-page Bloom-filter index."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.query import parse_query
+from repro.core.tokenizer import split_tokens
+from repro.errors import IndexError_
+from repro.index.bloom import BloomFilter, BloomParams, PageBloomIndex
+
+
+class TestBloomFilter:
+    def test_added_tokens_always_found(self):
+        bloom = BloomFilter()
+        for token in (b"alpha", b"beta", b"pbs_mom:"):
+            bloom.add(token)
+        assert b"alpha" in bloom
+        assert b"beta" in bloom
+        assert b"pbs_mom:" in bloom
+
+    def test_absent_tokens_usually_missing(self):
+        bloom = BloomFilter()
+        for i in range(50):
+            bloom.add(f"tok{i}".encode())
+        false_hits = sum(
+            1 for i in range(1000) if f"absent{i}".encode() in bloom
+        )
+        assert false_hits < 50  # ~FPR at 50 items in 2048 bits is tiny
+
+    def test_fpr_estimate_monotone(self):
+        params = BloomParams()
+        assert params.false_positive_rate(0) == 0.0
+        assert params.false_positive_rate(10) < params.false_positive_rate(500)
+
+    def test_params_validation(self):
+        with pytest.raises(IndexError_):
+            BloomParams(bits=1000)  # not a power of two
+        with pytest.raises(IndexError_):
+            BloomParams(hashes=0)
+
+    def test_memory_accounting(self):
+        assert BloomFilter(BloomParams(bits=2048)).memory_bytes == 256
+
+    @given(st.sets(st.binary(min_size=1, max_size=20), max_size=60))
+    @settings(max_examples=60)
+    def test_no_false_negatives_property(self, tokens):
+        bloom = BloomFilter()
+        for token in tokens:
+            bloom.add(token)
+        assert all(token in bloom for token in tokens)
+
+
+class TestPageBloomIndex:
+    PAGES = {
+        0: [b"RAS", b"KERNEL", b"INFO"],
+        1: [b"RAS", b"APP", b"FATAL"],
+        2: [b"job", b"failed", b"pbs_mom:"],
+        3: [b"job", b"failed"],
+    }
+
+    def build(self):
+        index = PageBloomIndex()
+        for addr in sorted(self.PAGES):
+            index.index_page(addr, self.PAGES[addr])
+        return index
+
+    def test_superset_per_token(self):
+        index = self.build()
+        assert {0, 1}.issubset(index.lookup_token(b"RAS"))
+        assert {2, 3}.issubset(index.lookup_token(b"failed"))
+
+    def test_candidate_pages_query(self):
+        index = self.build()
+        pages = index.candidate_pages(parse_query("job AND pbs_mom:"))
+        assert 2 in pages
+
+    def test_negative_only_full_scan(self):
+        index = self.build()
+        pages = index.candidate_pages(parse_query("NOT job"))
+        assert pages == sorted(self.PAGES)
+
+    def test_out_of_order_rejected(self):
+        index = self.build()
+        with pytest.raises(IndexError_):
+            index.index_page(1, [b"x"])
+
+    def test_memory_proportional_to_pages(self):
+        index = self.build()
+        assert index.memory_footprint_bytes() == 4 * 256
+
+    def test_fpr_reporting(self):
+        index = self.build()
+        assert 0 <= index.mean_false_positive_rate() < 0.01
+
+    def test_superset_on_real_corpus(self):
+        from repro.datasets.synthetic import generator_for
+
+        lines = generator_for("BGL2").generate(600)
+        index = PageBloomIndex()
+        page_lines: dict[int, list[bytes]] = {}
+        for addr in range(0, 60):
+            chunk = lines[addr * 10 : (addr + 1) * 10]
+            page_lines[addr] = chunk
+            index.index_page(addr, [t for l in chunk for t in split_tokens(l)])
+        query = parse_query("KERNEL AND FATAL")
+        candidates = set(index.candidate_pages(query))
+        truly = {
+            addr
+            for addr, chunk in page_lines.items()
+            if any(query.matches_line(l) for l in chunk)
+        }
+        assert truly.issubset(candidates)

@@ -1,0 +1,69 @@
+"""End-to-end tests: MithriLog running on the Bloom index strategy."""
+
+import pytest
+
+from repro.baselines.grep import grep_lines
+from repro.core.query import parse_query
+from repro.datasets.synthetic import generator_for
+from repro.index.bloom import BloomSystemIndex
+from repro.system.mithrilog import MithriLogSystem
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generator_for("BGL2").generate(2000)
+
+
+@pytest.fixture(scope="module")
+def systems(corpus):
+    bloom_system = MithriLogSystem(index=BloomSystemIndex())
+    bloom_system.ingest(corpus)
+    inverted_system = MithriLogSystem()
+    inverted_system.ingest(corpus)
+    return bloom_system, inverted_system
+
+
+QUERIES = ("KERNEL AND INFO", "FATAL AND NOT APP", "NOT RAS", "ciod:")
+
+
+class TestBloomBackedSystem:
+    @pytest.mark.parametrize("expr", QUERIES)
+    def test_results_match_oracle(self, systems, corpus, expr):
+        bloom_system, _ = systems
+        query = parse_query(expr)
+        outcome = bloom_system.query(query)
+        expected = grep_lines(query, corpus)
+        assert sorted(outcome.matched_lines) == sorted(expected)
+
+    @pytest.mark.parametrize("expr", QUERIES)
+    def test_both_strategies_agree(self, systems, expr):
+        bloom_system, inverted_system = systems
+        query = parse_query(expr)
+        a = bloom_system.query(query)
+        b = inverted_system.query(query)
+        assert sorted(a.matched_lines) == sorted(b.matched_lines)
+
+    def test_bloom_lookup_time_is_host_side(self, systems):
+        bloom_system, inverted_system = systems
+        query = parse_query("ciod: AND Error")
+        bloom = bloom_system.query(query)
+        inverted = inverted_system.query(query)
+        # bloom pays no storage latency on lookups; the inverted index
+        # pays 100us per posting fetch
+        assert bloom.stats.index_time_s < inverted.stats.index_time_s
+
+    def test_bloom_memory_fixed_per_page(self, systems):
+        bloom_system, _ = systems
+        assert (
+            bloom_system.index.memory_footprint_bytes()
+            == bloom_system.index.total_data_pages * 256
+        )
+
+    def test_time_bounded_queries_work(self, systems, corpus):
+        bloom_system, _ = systems
+        epochs = [float(l.split()[1]) for l in corpus]
+        bloom_system.index.flush(timestamp=epochs[-1])
+        query = parse_query("KERNEL")
+        outcome = bloom_system.query(query, time_range=(epochs[0], epochs[-1]))
+        expected = grep_lines(query, corpus)
+        assert sorted(outcome.matched_lines) == sorted(expected)

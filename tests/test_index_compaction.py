@@ -1,0 +1,74 @@
+"""Tests for index compaction."""
+
+import pytest
+
+from repro.baselines.grep import grep_lines
+from repro.core.query import parse_query
+from repro.datasets.synthetic import generator_for
+from repro.index.compaction import compact_index, compact_row
+from repro.system.mithrilog import MithriLogSystem
+
+
+def fragmented_system(n_lines=3000, flush_every=200):
+    """Ingest with frequent snapshot flushes: maximum fragmentation."""
+    lines = generator_for("Liberty2").generate(n_lines)
+    system = MithriLogSystem()
+    t = 0.0
+    for base in range(0, n_lines, flush_every):
+        system.ingest(lines[base : base + flush_every])
+        t += 1.0
+        system.index.flush(timestamp=t)
+    return system, lines
+
+
+class TestCompaction:
+    def test_query_results_unchanged(self):
+        system, lines = fragmented_system()
+        queries = [
+            parse_query("session AND opened"),
+            parse_query("kernel: AND NOT nfs:"),
+            parse_query("panic:"),
+        ]
+        before = [sorted(system.query(q).matched_lines) for q in queries]
+        report = compact_index(system.index)
+        after = [sorted(system.query(q).matched_lines) for q in queries]
+        assert before == after
+        assert report.rows  # something was compacted
+
+    def test_root_visits_reduced(self):
+        system, _lines = fragmented_system()
+        report = compact_index(system.index)
+        assert report.total_visits_after <= report.total_visits_before
+        # heavy fragmentation (15 flushes) leaves real savings on the table
+        assert report.visits_saved > 0
+
+    def test_query_time_improves_on_fragmented_store(self):
+        system, _lines = fragmented_system()
+        query = parse_query("session AND opened")
+        before = system.query(query).stats
+        compact_index(system.index)
+        after = system.query(query).stats
+        assert after.index_root_visits <= before.index_root_visits
+        assert after.index_time_s <= before.index_time_s
+
+    def test_single_row_compaction(self):
+        system, _lines = fragmented_system(n_lines=1000, flush_every=100)
+        row_id = next(iter(system.index.table._rows))
+        result = compact_row(system.index, row_id)
+        assert result.addresses >= 0
+        assert result.root_visits_after <= max(result.root_visits_before, 1)
+
+    def test_compaction_idempotent(self):
+        system, _lines = fragmented_system(n_lines=1500, flush_every=150)
+        compact_index(system.index)
+        report2 = compact_index(system.index)
+        assert report2.visits_saved == 0
+
+    def test_further_ingest_after_compaction(self):
+        system, lines = fragmented_system(n_lines=1200, flush_every=150)
+        compact_index(system.index)
+        more = generator_for("Liberty2", seed=77).generate(300)
+        system.ingest(more)
+        query = parse_query("session AND opened")
+        expected = grep_lines(query, lines + more)
+        assert sorted(system.query(query).matched_lines) == sorted(expected)

@@ -1,0 +1,161 @@
+"""Tests for the two-hash in-memory table and snapshot index."""
+
+import pytest
+
+from repro.index.hashindex import HashIndexTable
+from repro.index.snapshots import SnapshotIndex
+from repro.index.storetree import NIL, TreeListStore
+from repro.params import PAGE_BYTES, IndexParams, StorageParams
+from repro.storage.flash import FlashArray
+
+
+@pytest.fixture
+def flash():
+    return FlashArray(StorageParams(capacity_pages=8192))
+
+
+@pytest.fixture
+def store(flash):
+    return TreeListStore(flash, PAGE_BYTES)
+
+
+class TestHashIndexTable:
+    def test_two_candidate_rows(self):
+        table = HashIndexTable()
+        rows = table.candidate_rows(b"kernel")
+        assert len(rows) == 2
+
+    def test_single_hash_configuration(self):
+        table = HashIndexTable(IndexParams(num_hash_functions=1))
+        assert len(table.candidate_rows(b"kernel")) == 1
+
+    def test_insert_buffers_in_memory(self, store):
+        table = HashIndexTable()
+        table.insert(b"tok", 0, store)
+        row = table.peek_row(table.choose_insert_row(b"tok"))
+        assert row is not None
+        assert store.leaves.nodes_written == 0
+
+    def test_buffer_spills_at_sixteen(self, store):
+        # single hash function so all pages land in one row
+        table = HashIndexTable(IndexParams(num_hash_functions=1))
+        for page in range(16):
+            table.insert(b"tok", page, store)
+        assert store.leaves.nodes_written == 1
+
+    def test_root_persisted_after_256_pages(self, store):
+        # 256 pages in one row = 16 full leaves = one persisted root
+        table = HashIndexTable(IndexParams(num_hash_functions=1))
+        for page in range(256):
+            table.insert(b"tok", page, store)
+        row = table.peek_row(table.candidate_rows(b"tok")[0])
+        assert row is not None and row.head_root != NIL
+
+    def test_two_hash_insert_splits_across_rows(self, store):
+        # with two hash functions the same 16 pages split between two rows,
+        # so neither buffer fills (the balancing Section 6.2 describes)
+        table = HashIndexTable()
+        for page in range(16):
+            table.insert(b"tok", page, store)
+        assert store.leaves.nodes_written == 0
+
+    def test_duplicate_page_for_row_deduped(self, store):
+        params = IndexParams(num_hash_functions=1)
+        table = HashIndexTable(params)
+        row_id = table.candidate_rows(b"tok")[0]
+        table.insert(b"tok", 7, store)
+        table.insert(b"tok", 7, store)
+        assert table.peek_row(row_id).buffer == [7]
+
+    def test_two_choice_balancing(self, store):
+        # one very common token: its pages spread across both rows
+        table = HashIndexTable()
+        for page in range(0, 200, 2):
+            table.insert(b"common", page, store)
+            table.insert(b"other", page + 1, store)
+        r0, r1 = table.candidate_rows(b"common")
+        c0 = table.row(r0).total_pages
+        c1 = table.row(r1).total_pages
+        assert c0 > 0 and c1 > 0  # both rows received inserts
+
+    def test_flush_all_persists_partials(self, store):
+        table = HashIndexTable()
+        table.insert(b"tok", 3, store)
+        table.flush_all(store)
+        row = min(
+            (table.row(r) for r in table.candidate_rows(b"tok")),
+            key=lambda r: r.head_root,
+        )
+        rows = [table.row(r) for r in table.candidate_rows(b"tok")]
+        assert any(r.head_root != NIL for r in rows)
+        assert all(not r.buffer and not r.partial_root for r in rows)
+
+    def test_memory_footprint_stays_small(self, store):
+        table = HashIndexTable()
+        for page in range(2000):
+            table.insert(f"tok{page % 50}".encode(), page, store)
+        # 50 tokens' worth of row state, each bounded by 16+16 entries
+        assert table.memory_footprint_bytes() < 100 * (32 + 2) * 4
+
+    def test_deterministic_hashing(self):
+        assert HashIndexTable().candidate_rows(b"x") == HashIndexTable().candidate_rows(
+            b"x"
+        )
+
+    def test_seed_changes_rows(self):
+        tokens = [f"t{i}".encode() for i in range(20)]
+        a = [HashIndexTable(seed=1).candidate_rows(t) for t in tokens]
+        b = [HashIndexTable(seed=2).candidate_rows(t) for t in tokens]
+        assert a != b
+
+
+class TestSnapshotIndex:
+    def test_threshold_gates_flush(self):
+        snaps = SnapshotIndex(leaf_page_threshold=10)
+        assert not snaps.should_flush(9)
+        assert snaps.should_flush(10)
+
+    def test_threshold_relative_to_last_flush(self):
+        snaps = SnapshotIndex(leaf_page_threshold=10)
+        snaps.record_flush(1.0, data_page_watermark=100, leaf_pages_created=10)
+        assert not snaps.should_flush(15)
+        assert snaps.should_flush(20)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            SnapshotIndex(leaf_page_threshold=0)
+
+    def test_timestamps_must_be_monotone(self):
+        snaps = SnapshotIndex(leaf_page_threshold=1)
+        snaps.record_flush(5.0, 10, 1)
+        with pytest.raises(ValueError):
+            snaps.record_flush(4.0, 20, 2)
+
+    def test_page_range_unbounded_without_snapshots(self):
+        snaps = SnapshotIndex(leaf_page_threshold=1)
+        assert snaps.page_range_for_time(1.0, 2.0) == (0, None)
+
+    def test_page_range_bounds(self):
+        snaps = SnapshotIndex(leaf_page_threshold=1)
+        snaps.record_flush(10.0, data_page_watermark=100, leaf_pages_created=1)
+        snaps.record_flush(20.0, data_page_watermark=200, leaf_pages_created=2)
+        snaps.record_flush(30.0, data_page_watermark=300, leaf_pages_created=3)
+        low, high = snaps.page_range_for_time(15.0, 25.0)
+        # everything before t=10 flush is certainly older than 15
+        assert low == 100
+        # first snapshot at/after 25 is t=30, watermark 300
+        assert high == 300
+
+    def test_page_range_conservative_for_exact_times(self):
+        snaps = SnapshotIndex(leaf_page_threshold=1)
+        snaps.record_flush(10.0, 100, 1)
+        low, high = snaps.page_range_for_time(10.0, 10.0)
+        assert low <= 100
+        assert high is None or high >= 100
+
+    def test_open_ended_ranges(self):
+        snaps = SnapshotIndex(leaf_page_threshold=1)
+        snaps.record_flush(10.0, 100, 1)
+        assert snaps.page_range_for_time(None, None) == (0, None)
+        low, high = snaps.page_range_for_time(None, 5.0)
+        assert low == 0 and high == 100

@@ -1,0 +1,78 @@
+"""End-to-end tests for prefix-tree (column-constrained) queries.
+
+Section 4.3's prefix-tree extension adds a column field to the hash-table
+entry; these tests drive that capability through the *whole* stack —
+extraction, compilation, inverted-index narrowing (which ignores columns
+and therefore over-approximates, as it must), and the filter engine.
+"""
+
+import pytest
+
+from repro.baselines.grep import grep_lines
+from repro.core.query import Query, Term
+from repro.system.mithrilog import MithriLogSystem
+from repro.templates.prefixtree import PrefixTree, PrefixTreeParams
+
+
+def corpus():
+    lines = []
+    lines += [f"sshd auth failure user u{i}".encode() for i in range(40)]
+    lines += [f"kernel panic cpu {i}".encode() for i in range(30)]
+    lines += [b"cron job started ok"] * 25
+    # adversarial: same tokens as the sshd template, wrong positions
+    lines += [f"u{i} sshd failure auth user".encode() for i in range(20)]
+    return lines
+
+
+@pytest.fixture(scope="module")
+def system():
+    sys = MithriLogSystem()
+    sys.ingest(corpus())
+    return sys
+
+
+@pytest.fixture(scope="module")
+def tree():
+    # the root level legitimately has ~23 distinct first tokens (the 20
+    # scrambled lines); only genuine variable fields exceed 25
+    return PrefixTree.from_lines(corpus(), PrefixTreeParams(prune_threshold=25))
+
+
+class TestPrefixQueriesEndToEnd:
+    def test_template_query_through_system(self, system, tree):
+        sshd = next(t for t in tree.templates if t.tokens[0] == b"sshd")
+        query = tree.template_query(sshd)
+        outcome = system.query(query)
+        expected = grep_lines(query, corpus())
+        assert sorted(outcome.matched_lines) == sorted(expected)
+        # the adversarial scrambled lines must NOT match
+        assert all(not l.startswith(b"u") for l in outcome.matched_lines)
+        assert len(outcome.matched_lines) == 40
+
+    def test_column_query_offloads(self, system):
+        query = Query.single(Term(b"panic", column=1))
+        assert system.engine.compile(query)  # placement succeeds
+        outcome = system.query(query)
+        assert outcome.stats.offloaded
+        assert len(outcome.matched_lines) == 30
+
+    def test_index_superset_despite_columns(self, system):
+        # the inverted index narrows by token only; column filtering
+        # happens in the engine, so results stay exact
+        query = Query.single(Term(b"sshd", column=0))
+        indexed = system.query(query, use_index=True)
+        scanned = system.query(query, use_index=False)
+        assert indexed.matched_lines == scanned.matched_lines
+
+    def test_all_templates_classify_their_own_lines(self, system, tree):
+        for template in tree.templates:
+            query = tree.template_query(template)
+            outcome = system.query(query)
+            assert len(outcome.matched_lines) >= template.support * 0.9
+
+    def test_mixed_column_and_plain_queries_concurrently(self, system):
+        q_col = Query.single(Term(b"sshd", column=0))
+        q_plain = Query.single(Term(b"cron"))
+        outcome = system.query(q_col, q_plain)
+        assert outcome.per_query_counts[0] == 40
+        assert outcome.per_query_counts[1] == 25

@@ -1,0 +1,95 @@
+"""Unit tests for bandwidth accounting."""
+
+import pytest
+
+from repro.sim import BandwidthMeter, LinkModel, SimClock
+
+
+class TestBandwidthMeter:
+    def test_empty_meter_reports_zero(self):
+        assert BandwidthMeter().bytes_per_second() == 0.0
+
+    def test_rate_computation(self):
+        meter = BandwidthMeter()
+        meter.record(1_000_000_000, 1.0)
+        assert meter.bytes_per_second() == pytest.approx(1e9)
+        assert meter.gigabytes_per_second() == pytest.approx(1.0)
+
+    def test_accumulation_across_samples(self):
+        meter = BandwidthMeter()
+        meter.record(100, 1.0)
+        meter.record(300, 1.0)
+        assert meter.total_bytes == 400
+        assert meter.samples == 2
+        assert meter.bytes_per_second() == pytest.approx(200.0)
+
+    def test_merge(self):
+        a, b = BandwidthMeter(), BandwidthMeter()
+        a.record(100, 1.0)
+        b.record(200, 1.0)
+        a.merge(b)
+        assert a.total_bytes == 300
+        assert a.total_seconds == 2.0
+
+    def test_negative_inputs_rejected(self):
+        meter = BandwidthMeter()
+        with pytest.raises(ValueError):
+            meter.record(-1, 1.0)
+        with pytest.raises(ValueError):
+            meter.record(1, -1.0)
+
+    def test_reset(self):
+        meter = BandwidthMeter()
+        meter.record(100, 1.0)
+        meter.reset()
+        assert meter.total_bytes == 0
+        assert meter.bytes_per_second() == 0.0
+
+
+class TestLinkModel:
+    def test_transfer_seconds_includes_latency(self):
+        link = LinkModel(bandwidth=1000, latency_s=0.5)
+        assert link.transfer_seconds(1000) == pytest.approx(1.5)
+
+    def test_zero_byte_transfer_pays_latency_only(self):
+        link = LinkModel(bandwidth=1000, latency_s=0.25)
+        assert link.transfer_seconds(0) == pytest.approx(0.25)
+
+    def test_transfers_serialise(self):
+        link = LinkModel(bandwidth=1000)
+        done1 = link.transfer(500, start_time=0.0)
+        done2 = link.transfer(500, start_time=0.0)  # issued while busy
+        assert done1 == pytest.approx(0.5)
+        assert done2 == pytest.approx(1.0)
+
+    def test_idle_gap_not_charged(self):
+        link = LinkModel(bandwidth=1000)
+        link.transfer(500, start_time=0.0)
+        done = link.transfer(500, start_time=10.0)
+        assert done == pytest.approx(10.5)
+
+    def test_transfer_on_advances_clock(self):
+        clock = SimClock()
+        link = LinkModel(bandwidth=100)
+        link.transfer_on(clock, 50)
+        assert clock.now == pytest.approx(0.5)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LinkModel(bandwidth=0)
+        with pytest.raises(ValueError):
+            LinkModel(bandwidth=1, latency_s=-1)
+        with pytest.raises(ValueError):
+            LinkModel(bandwidth=1).transfer_seconds(-1)
+
+    def test_meter_tracks_utilised_rate(self):
+        link = LinkModel(bandwidth=1000)
+        link.transfer(1000, start_time=0.0)
+        assert link.meter.bytes_per_second() == pytest.approx(1000.0)
+
+    def test_reset_clears_busy_horizon(self):
+        link = LinkModel(bandwidth=1000)
+        link.transfer(1000, start_time=0.0)
+        link.reset()
+        assert link.busy_until == 0.0
+        assert link.meter.total_bytes == 0

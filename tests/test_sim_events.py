@@ -1,0 +1,70 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.sim import EventQueue, SimClock
+
+
+class TestEventQueue:
+    def test_empty_queue_step_returns_none(self):
+        assert EventQueue().step() is None
+
+    def test_events_dispatch_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule_at(2.0, lambda: order.append("b"))
+        queue.schedule_at(1.0, lambda: order.append("a"))
+        queue.schedule_at(3.0, lambda: order.append("c"))
+        queue.run()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_dispatch_in_schedule_order(self):
+        queue = EventQueue()
+        order = []
+        for name in "abc":
+            queue.schedule_at(1.0, lambda n=name: order.append(n))
+        queue.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        queue = EventQueue()
+        queue.schedule_at(4.5, lambda: None)
+        queue.run()
+        assert queue.clock.now == 4.5
+
+    def test_schedule_in_past_rejected(self):
+        queue = EventQueue(SimClock(start=10.0))
+        with pytest.raises(ValueError):
+            queue.schedule_at(5.0, lambda: None)
+
+    def test_schedule_after_relative(self):
+        queue = EventQueue(SimClock(start=10.0))
+        queue.schedule_after(2.0, lambda: None)
+        queue.run()
+        assert queue.clock.now == 12.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule_after(-1.0, lambda: None)
+
+    def test_events_scheduled_during_dispatch_run(self):
+        queue = EventQueue()
+        order = []
+
+        def first():
+            order.append(1)
+            queue.schedule_after(1.0, lambda: order.append(2))
+
+        queue.schedule_at(1.0, first)
+        dispatched = queue.run()
+        assert order == [1, 2]
+        assert dispatched == 2
+
+    def test_run_until_stops_early(self):
+        queue = EventQueue()
+        hits = []
+        queue.schedule_at(1.0, lambda: hits.append(1))
+        queue.schedule_at(5.0, lambda: hits.append(5))
+        queue.run(until=2.0)
+        assert hits == [1]
+        assert len(queue) == 1

@@ -1,0 +1,142 @@
+"""Tests for the flash translation layer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PageBoundsError, StorageError
+from repro.params import StorageParams
+from repro.storage.ftl import FlashTranslationLayer, FTLFlashArray
+from repro.storage.page import Page
+
+
+def make_ftl(blocks=8, pages=4, threshold=2):
+    return FlashTranslationLayer(
+        num_blocks=blocks, pages_per_block=pages, gc_threshold=threshold
+    )
+
+
+class TestBasicMapping:
+    def test_write_read_roundtrip(self):
+        ftl = make_ftl()
+        ftl.write(5, Page(b"hello"))
+        assert ftl.read(5).data == b"hello"
+        assert 5 in ftl
+        assert 6 not in ftl
+
+    def test_read_unwritten_raises(self):
+        with pytest.raises(StorageError):
+            make_ftl().read(0)
+
+    def test_negative_logical_rejected(self):
+        with pytest.raises(PageBoundsError):
+            make_ftl().write(-1, Page(b"x"))
+
+    def test_overwrite_returns_latest(self):
+        ftl = make_ftl()
+        ftl.write(3, Page(b"old"))
+        ftl.write(3, Page(b"new"))
+        assert ftl.read(3).data == b"new"
+
+    def test_overwrite_invalidates_old_slot(self):
+        ftl = make_ftl()
+        ftl.write(3, Page(b"old"))
+        ftl.write(3, Page(b"new"))
+        # two NAND programs, one live page
+        assert ftl.nand_writes == 2
+        assert len(ftl._l2p) == 1
+
+    def test_capacity_enforced(self):
+        ftl = make_ftl(blocks=6, pages=2, threshold=2)
+        for logical in range(ftl.capacity_pages):
+            ftl.write(logical, Page(b"x"))
+        with pytest.raises(StorageError):
+            ftl.write(ftl.capacity_pages, Page(b"one too many"))
+
+    def test_too_few_blocks_rejected(self):
+        with pytest.raises(StorageError):
+            FlashTranslationLayer(num_blocks=3, gc_threshold=2)
+
+
+class TestGarbageCollection:
+    def test_sustained_overwrites_trigger_gc(self):
+        ftl = make_ftl(blocks=8, pages=4, threshold=2)
+        for round_ in range(20):
+            for logical in range(8):
+                ftl.write(logical, Page(f"{round_}-{logical}".encode()))
+        stats = ftl.stats()
+        assert stats.erases > 0
+        # data stays correct through relocations
+        for logical in range(8):
+            assert ftl.read(logical).data == f"19-{logical}".encode()
+
+    def test_append_only_workload_has_unit_write_amplification(self):
+        ftl = make_ftl(blocks=16, pages=4, threshold=2)
+        for logical in range(ftl.capacity_pages):
+            ftl.write(logical, Page(b"log data"))
+        stats = ftl.stats()
+        assert stats.write_amplification == pytest.approx(1.0)
+        assert stats.gc_relocations == 0
+
+    def test_mixed_hot_cold_workload_amplifies_writes(self):
+        # cold pages share blocks with hot ones, so GC must relocate them
+        ftl = make_ftl(blocks=8, pages=4, threshold=2)
+        # interleave cold and hot writes so they share erase blocks
+        for i in range(12):
+            ftl.write(i, Page(b"cold"))
+            ftl.write(100 + i % 2, Page(bytes([i]) * 8))
+        for round_ in range(40):  # keep hammering the hot pages
+            ftl.write(100 + round_ % 2, Page(bytes([round_ % 251]) * 8))
+        stats = ftl.stats()
+        assert stats.gc_relocations > 0
+        assert stats.write_amplification > 1.0
+        for logical in range(12):
+            assert ftl.read(logical).data == b"cold"
+
+    def test_wear_levelling_bounds_spread(self):
+        ftl = make_ftl(blocks=10, pages=4, threshold=2)
+        for round_ in range(60):
+            for logical in range(10):
+                ftl.write(logical, Page(bytes([round_ % 251]) * 4))
+        stats = ftl.stats()
+        assert stats.erases > 5
+        # least- and most-worn blocks stay within a small band
+        assert stats.wear_spread <= max(4, stats.erases // 2)
+
+    @given(st.lists(st.tuples(st.integers(0, 11), st.binary(min_size=1, max_size=16)), max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_latest_write_always_wins(self, writes):
+        ftl = make_ftl(blocks=10, pages=4, threshold=2)
+        latest: dict[int, bytes] = {}
+        for logical, payload in writes:
+            ftl.write(logical, Page(payload))
+            latest[logical] = payload
+        for logical, payload in latest.items():
+            assert ftl.read(logical).data == payload
+
+
+class TestFTLFlashArray:
+    def test_drop_in_for_flash_array(self):
+        flash = FTLFlashArray(StorageParams(capacity_pages=256))
+        addr = flash.append_page(Page(b"payload"))
+        assert flash.read_page(addr).data == b"payload"
+        assert flash.pages_written == 1
+
+    def test_system_runs_on_ftl_flash(self):
+        from repro.core.query import parse_query
+        from repro.datasets.synthetic import generator_for
+        from repro.storage.device import MithriLogDevice
+        from repro.system.mithrilog import MithriLogSystem
+
+        params = StorageParams(capacity_pages=4096)
+        device = MithriLogDevice(params, flash=FTLFlashArray(params))
+        system = MithriLogSystem(device=device)
+        lines = generator_for("BGL2").generate(800)
+        system.ingest(lines)
+        system.index.flush(timestamp=0.0)  # rewrites index pages -> FTL work
+        outcome = system.query(parse_query("KERNEL AND INFO"))
+        from repro.baselines.grep import grep_lines
+
+        assert sorted(outcome.matched_lines) == sorted(
+            grep_lines(parse_query("KERNEL AND INFO"), lines)
+        )
+        assert device.flash.ftl.nand_writes >= device.flash.ftl.host_writes

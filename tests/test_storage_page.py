@@ -1,0 +1,70 @@
+"""Unit tests for flash pages."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PageCorruptionError, StorageError
+from repro.storage.page import PAGE_BYTES, Page, split_into_pages
+
+
+class TestPage:
+    def test_checksum_computed_on_construction(self):
+        page = Page(b"hello")
+        page.verify()  # must not raise
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(StorageError):
+            Page(b"x" * (PAGE_BYTES + 1))
+
+    def test_full_page_accepted(self):
+        Page(b"x" * PAGE_BYTES).verify()
+
+    def test_empty_page_accepted(self):
+        Page(b"").verify()
+
+    def test_corrupted_page_fails_verify(self):
+        page = Page(b"hello world").corrupted()
+        with pytest.raises(PageCorruptionError):
+            page.verify()
+
+    def test_corrupting_empty_page_rejected(self):
+        with pytest.raises(StorageError):
+            Page(b"").corrupted()
+
+    def test_corruption_at_offset(self):
+        page = Page(b"abcdef").corrupted(flip_at=3)
+        assert page.data[3] != b"abcdef"[3]
+        assert page.data[:3] == b"abc"
+
+    def test_len(self):
+        assert len(Page(b"abc")) == 3
+
+    @given(st.binary(max_size=PAGE_BYTES))
+    def test_any_payload_roundtrips_checksum(self, payload):
+        Page(payload).verify()
+
+
+class TestSplitIntoPages:
+    def test_exact_multiple(self):
+        pages = split_into_pages(b"ab" * 4, page_bytes=4)
+        assert [p.data for p in pages] == [b"abab", b"abab"]
+
+    def test_short_tail(self):
+        pages = split_into_pages(b"abcde", page_bytes=4)
+        assert [p.data for p in pages] == [b"abcd", b"e"]
+
+    def test_empty_payload_gives_one_empty_page(self):
+        pages = split_into_pages(b"", page_bytes=4)
+        assert len(pages) == 1
+        assert pages[0].data == b""
+
+    def test_invalid_page_size_rejected(self):
+        with pytest.raises(StorageError):
+            split_into_pages(b"abc", page_bytes=0)
+        with pytest.raises(StorageError):
+            split_into_pages(b"abc", page_bytes=PAGE_BYTES + 1)
+
+    @given(st.binary(min_size=1, max_size=5000), st.integers(1, PAGE_BYTES))
+    def test_concatenation_recovers_payload(self, payload, size):
+        pages = split_into_pages(payload, page_bytes=size)
+        assert b"".join(p.data for p in pages) == payload

@@ -1,0 +1,103 @@
+"""Tests for the sharded cluster deployment."""
+
+import pytest
+
+from repro.baselines.grep import grep_lines
+from repro.core.query import parse_query
+from repro.datasets.synthetic import generator_for
+from repro.errors import IngestError, QueryError
+from repro.system.cluster import MithriLogCluster
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generator_for("Thunderbird").generate(4000)
+
+
+@pytest.fixture(scope="module")
+def cluster(corpus):
+    c = MithriLogCluster(num_shards=4)
+    c.ingest(corpus)
+    return c
+
+
+class TestIngest:
+    def test_lines_split_across_shards(self, cluster, corpus):
+        assert cluster.total_lines == len(corpus)
+        per_shard = [s.total_lines for s in cluster.shards]
+        assert all(count > 0 for count in per_shard)
+        assert max(per_shard) - min(per_shard) <= 1
+
+    def test_report_aggregates(self, corpus):
+        c = MithriLogCluster(num_shards=2)
+        report = c.ingest(corpus[:1000])
+        assert report.lines == 1000
+        assert report.compression_ratio > 1.5
+        assert report.elapsed_s == max(r.elapsed_s for r in report.shards)
+
+    def test_small_batches_skip_empty_shards(self):
+        c = MithriLogCluster(num_shards=8)
+        report = c.ingest([b"only one", b"two lines"])
+        assert report.lines == 2
+        assert len(report.shards) == 2
+
+    def test_timestamp_alignment_enforced(self):
+        c = MithriLogCluster(num_shards=2)
+        with pytest.raises(IngestError):
+            c.ingest([b"a", b"b"], timestamps=[1.0])
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            MithriLogCluster(num_shards=0)
+
+
+class TestQuery:
+    def test_results_equal_oracle(self, cluster, corpus):
+        for expr in ("Failed AND NOT sshd:", "crond[0-9]:" , "NOT kernel:"):
+            try:
+                query = parse_query(expr)
+            except Exception:
+                continue
+            outcome = cluster.query(query)
+            expected = grep_lines(query, corpus)
+            assert sorted(outcome.matched_lines) == sorted(expected), expr
+
+    def test_results_identical_across_shard_counts(self, corpus):
+        query = parse_query("session AND opened")
+        results = []
+        for shards in (1, 2, 4):
+            c = MithriLogCluster(num_shards=shards)
+            c.ingest(corpus[:1500])
+            results.append(sorted(c.query(query).matched_lines))
+        assert results[0] == results[1] == results[2]
+
+    def test_parallel_makespan_beats_serial(self, cluster):
+        outcome = cluster.scan_all(parse_query("session"))
+        assert outcome.elapsed_s < outcome.serial_elapsed_s
+        assert len(outcome.per_shard) == 4
+
+    def test_sharding_speeds_up_scans(self, corpus):
+        query = parse_query("session AND opened")
+        single = MithriLogCluster(num_shards=1)
+        single.ingest(corpus[:2000])
+        quad = MithriLogCluster(num_shards=4)
+        quad.ingest(corpus[:2000])
+        t1 = single.scan_all(query).elapsed_s
+        t4 = quad.scan_all(query).elapsed_s
+        assert t4 < t1
+
+    def test_per_query_counts_sum(self, cluster, corpus):
+        q1 = parse_query("session")
+        q2 = parse_query("Failed")
+        outcome = cluster.query(q1, q2)
+        assert outcome.per_query_counts[0] == len(grep_lines(q1, corpus))
+        assert outcome.per_query_counts[1] == len(grep_lines(q2, corpus))
+
+    def test_empty_query_rejected(self, cluster):
+        with pytest.raises(QueryError):
+            cluster.query()
+
+    def test_effective_throughput_scales(self, cluster):
+        outcome = cluster.scan_all(parse_query("session"))
+        gbps = outcome.effective_throughput(cluster.original_bytes)
+        assert gbps > 0

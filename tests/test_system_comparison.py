@@ -1,0 +1,82 @@
+"""Tests for the side-by-side comparison harness."""
+
+import pytest
+
+from repro.datasets.synthetic import generator_for
+from repro.system.comparison import ComparisonHarness
+from repro.system.report import log_bins, render_histogram, render_scatter_summary, render_table
+from repro.templates.fttree import FTTree, FTTreeParams
+from repro.templates.querygen import build_workload
+
+
+@pytest.fixture(scope="module")
+def harness():
+    lines = generator_for("BGL2").generate(4000)
+    return ComparisonHarness(lines)
+
+
+@pytest.fixture(scope="module")
+def workload(harness):
+    tree = FTTree.from_lines(harness.lines, FTTreeParams(prune_threshold=12))
+    return build_workload(tree, num_pairs=4, num_eights=2, max_singles=6)
+
+
+class TestScanComparison:
+    def test_mithrilog_beats_scan_db_on_average(self, harness, workload):
+        result = harness.run_scan_comparison(workload)
+        assert result.average_improvement() > 2.0
+
+    def test_mithrilog_flat_across_batch_sizes(self, harness, workload):
+        result = harness.run_scan_comparison(workload)
+        t1 = result.mean_gbps("MithriLog", 1)
+        t8 = result.mean_gbps("MithriLog", 8)
+        assert t8 == pytest.approx(t1, rel=0.2)
+
+    def test_scan_db_degrades_with_batch_size(self, harness, workload):
+        result = harness.run_scan_comparison(workload)
+        assert result.mean_gbps("MonetDB", 8) < result.mean_gbps("MonetDB", 1)
+
+    def test_sample_bookkeeping(self, harness, workload):
+        result = harness.run_scan_comparison(workload)
+        expected = 2 * workload.total_queries()
+        assert len(result.samples) == expected
+
+
+class TestEndToEnd:
+    def test_mithrilog_wins_in_total(self, harness, workload):
+        result = harness.run_end_to_end(workload)
+        assert result.total_improvement() > 1.0
+
+    def test_agreement_with_oracle(self, harness, workload):
+        harness.verify_agreement(list(workload.singles)[:3])
+
+
+class TestReportRenderers:
+    def test_render_table(self):
+        text = render_table("Table X", ["a", "b"], [[1, 2.5], ["x", 3.0]])
+        assert "Table X" in text and "2.50" in text
+
+    def test_render_histogram_counts_everything(self):
+        text = render_histogram("H", [0.1, 0.5, 5.0], [0.01, 1.0, 10.0])
+        assert text.count("|") == 2
+        assert "2" in text and "1" in text
+
+    def test_log_bins_monotone(self):
+        bins = log_bins(0.01, 100, 8)
+        assert len(bins) == 9
+        assert all(a < b for a, b in zip(bins, bins[1:]))
+        assert bins[0] == pytest.approx(0.01)
+        assert bins[-1] == pytest.approx(100)
+
+    def test_log_bins_validation(self):
+        with pytest.raises(ValueError):
+            log_bins(0, 10, 4)
+        with pytest.raises(ValueError):
+            log_bins(10, 1, 4)
+
+    def test_scatter_summary(self):
+        text = render_scatter_summary("S", [(0.1, 1.0), (0.2, 3.0)])
+        assert "faster on 2" in text
+
+    def test_scatter_summary_empty(self):
+        assert "no samples" in render_scatter_summary("S", [])

@@ -1,0 +1,155 @@
+"""Tests for the query planner, scheduler and ingest cost model."""
+
+import pytest
+
+from repro.baselines.grep import grep_lines
+from repro.core.query import Query, Term, parse_query
+from repro.datasets.synthetic import generator_for
+from repro.system.mithrilog import MithriLogSystem
+from repro.system.planner import QueryPlanner
+from repro.system.scheduler import QueryScheduler
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    # large enough that the index-vs-scan crossover favours the index for
+    # selective queries (the planner correctly prefers scanning tiny stores:
+    # two 100 microsecond posting fetches outweigh a 70-page scan)
+    return generator_for("Liberty2").generate(25_000)
+
+
+@pytest.fixture(scope="module")
+def system(corpus):
+    sys = MithriLogSystem()
+    sys.ingest(corpus)
+    return sys
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return generator_for("Liberty2").generate(2000)
+
+
+@pytest.fixture(scope="module")
+def small_system(small_corpus):
+    sys = MithriLogSystem()
+    sys.ingest(small_corpus)
+    return sys
+
+
+class TestPlanner:
+    def test_selective_query_uses_index(self, system):
+        plan = QueryPlanner(system).plan(parse_query("panic: AND BUG"))
+        assert plan.use_index
+        assert plan.estimated_selectivity < 0.5
+        assert "narrows" in plan.reason
+
+    def test_negative_only_query_scans(self, system):
+        plan = QueryPlanner(system).plan(parse_query("NOT kernel:"))
+        assert not plan.use_index
+        assert plan.estimated_candidate_pages == plan.total_pages
+
+    def test_universal_token_query_scans(self, system):
+        # 'kernel:' rows accumulate a large share of all pages
+        plan = QueryPlanner(system).plan(parse_query("kernel:"))
+        assert plan.estimated_selectivity > 0.5
+
+    def test_estimate_is_an_upper_bound(self, system):
+        planner = QueryPlanner(system)
+        query = parse_query("panic: AND BUG")
+        estimated = planner.estimate_candidates(query)
+        actual = len(system.index.candidate_pages(query).pages)
+        assert actual <= estimated
+
+    def test_execute_returns_correct_results(self, system, corpus):
+        planner = QueryPlanner(system)
+        for expr in ("panic:", "NOT kernel:", "session AND opened"):
+            query = parse_query(expr)
+            plan, outcome = planner.execute(query)
+            expected = grep_lines(query, corpus)
+            assert sorted(outcome.matched_lines) == sorted(expected), expr
+
+    def test_planned_path_not_slower_than_both(self, system):
+        planner = QueryPlanner(system)
+        query = parse_query("panic: AND BUG")
+        plan, outcome = planner.execute(query)
+        other = system.query(query, use_index=not plan.use_index)
+        assert outcome.stats.elapsed_s <= other.stats.elapsed_s * 1.5
+
+
+class TestScheduler:
+    def test_eight_singles_fit_one_pass(self, small_system):
+        queries = [Query.single(f"tok{i}") for i in range(8)]
+        groups = QueryScheduler(small_system).pack(queries)
+        assert len(groups) == 1
+
+    def test_nine_singles_need_two_passes(self, small_system):
+        queries = [Query.single(f"tok{i}") for i in range(9)]
+        groups = QueryScheduler(small_system).pack(queries)
+        assert len(groups) == 2
+
+    def test_mixed_sizes_pack_tightly(self, small_system):
+        # 3-set + 3-set + 2-set = exactly one pass of 8
+        q3a = parse_query("a1 OR a2 OR a3")
+        q3b = parse_query("b1 OR b2 OR b3")
+        q2 = parse_query("c1 OR c2")
+        groups = QueryScheduler(small_system).pack([q3a, q3b, q2])
+        assert len(groups) == 1
+
+    def test_unpackable_query_runs_alone(self, small_system):
+        big = Query.of(
+            *[
+                __import__("repro.core.query", fromlist=["IntersectionSet"])
+                .IntersectionSet.of(f"t{i}")
+                for i in range(8)
+            ]
+        )
+        single = Query.single("extra")
+        groups = QueryScheduler(small_system).pack([big, single])
+        assert len(groups) == 2
+
+    def test_results_match_serial_execution(self, small_system, small_corpus):
+        queries = [
+            parse_query("session AND opened"),
+            parse_query("panic:"),
+            parse_query("sshd AND NOT Failed"),
+        ]
+        run = QueryScheduler(small_system).run(queries)
+        for query, count in zip(queries, run.per_query_counts):
+            assert count == len(grep_lines(query, small_corpus))
+
+    def test_batching_beats_serial_makespan(self, small_system):
+        queries = [Query.single(f"token-{i}") for i in range(8)]
+        scheduler = QueryScheduler(small_system)
+        run = scheduler.run(queries, use_index=False)
+        serial = scheduler.serial_makespan(queries, use_index=False)
+        assert run.passes == 1
+        assert run.makespan_s < serial / 4
+
+    def test_empty_queue_rejected(self, small_system):
+        with pytest.raises(ValueError):
+            QueryScheduler(small_system).run([])
+
+
+class TestIngestCostModel:
+    def test_report_carries_timing(self, small_corpus):
+        fresh = MithriLogSystem()
+        report = fresh.ingest(small_corpus)
+        assert report.elapsed_s > 0
+        assert report.postings_inserted > 0
+        assert report.bottleneck in ("storage", "compression", "index")
+
+    def test_index_is_not_the_bottleneck(self, small_corpus):
+        # the Section 6 design claim: the index keeps up with the
+        # accelerator-side bandwidth
+        fresh = MithriLogSystem()
+        report = fresh.ingest(small_corpus)
+        assert report.host_time_s < max(
+            report.storage_time_s, report.compress_time_s
+        )
+
+    def test_ingest_bandwidth_scale(self, small_corpus):
+        fresh = MithriLogSystem()
+        report = fresh.ingest(small_corpus)
+        # bounded by the accelerator compressors: <= 12.8 GB/s
+        assert 0 < report.ingest_bytes_per_sec <= 12.8e9

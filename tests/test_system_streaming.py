@@ -1,0 +1,100 @@
+"""Tests for streaming ingestion."""
+
+import pytest
+
+from repro.baselines.grep import grep_lines
+from repro.core.query import parse_query
+from repro.datasets.synthetic import generator_for
+from repro.errors import IngestError
+from repro.system.mithrilog import MithriLogSystem
+from repro.system.streaming import StreamingIngestor
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generator_for("Liberty2").generate(2000)
+
+
+class TestArrival:
+    def test_batches_persist_automatically(self, corpus):
+        ingestor = StreamingIngestor(MithriLogSystem(), batch_lines=100)
+        for line in corpus[:250]:
+            ingestor.append(line)
+        assert ingestor.lines_ingested == 200
+        assert ingestor.pending_lines == 50
+
+    def test_flush_persists_tail(self, corpus):
+        ingestor = StreamingIngestor(MithriLogSystem(), batch_lines=100)
+        ingestor.extend(corpus[:130])
+        assert ingestor.flush() == 30
+        assert ingestor.pending_lines == 0
+        assert ingestor.flush() == 0
+
+    def test_newline_in_append_rejected(self):
+        ingestor = StreamingIngestor(MithriLogSystem())
+        with pytest.raises(IngestError):
+            ingestor.append(b"two\nlines")
+
+    def test_validation(self):
+        with pytest.raises(IngestError):
+            StreamingIngestor(MithriLogSystem(), batch_lines=0)
+        with pytest.raises(IngestError):
+            StreamingIngestor(MithriLogSystem(), snapshot_every_s=0)
+        ingestor = StreamingIngestor(MithriLogSystem())
+        with pytest.raises(IngestError):
+            ingestor.extend([b"a"], timestamps=[1.0, 2.0])
+
+    def test_context_manager_flushes(self, corpus):
+        system = MithriLogSystem()
+        with StreamingIngestor(system, batch_lines=10_000) as ingestor:
+            ingestor.extend(corpus[:120])
+        assert ingestor.pending_lines == 0
+        assert system.total_lines == 120
+
+
+class TestQueryMidStream:
+    def test_results_complete_including_pending(self, corpus):
+        query = parse_query("session AND opened")
+        expected = grep_lines(query, corpus[:500])
+        ingestor = StreamingIngestor(MithriLogSystem(), batch_lines=128)
+        ingestor.extend(corpus[:500])
+        assert ingestor.pending_lines > 0  # some tail not yet persisted
+        outcome = ingestor.query(query)
+        assert sorted(outcome.matched_lines) == sorted(expected)
+
+    def test_pending_excluded_when_asked(self, corpus):
+        query = parse_query("session AND opened")
+        ingestor = StreamingIngestor(MithriLogSystem(), batch_lines=128)
+        ingestor.extend(corpus[:500])
+        with_pending = ingestor.query(query, include_pending=True)
+        without = ingestor.query(query, include_pending=False)
+        assert len(without.matched_lines) <= len(with_pending.matched_lines)
+
+    def test_per_query_counts_cover_pending(self, corpus):
+        q1 = parse_query("kernel:")
+        q2 = parse_query("sshd")
+        ingestor = StreamingIngestor(MithriLogSystem(), batch_lines=128)
+        ingestor.extend(corpus[:500])
+        outcome = ingestor.query(q1, q2)
+        assert outcome.per_query_counts[0] == len(grep_lines(q1, corpus[:500]))
+        assert outcome.per_query_counts[1] == len(grep_lines(q2, corpus[:500]))
+
+
+class TestSnapshotCadence:
+    def test_snapshots_fire_on_time_cadence(self, corpus):
+        epochs = [float(l.split()[1]) for l in corpus]
+        span = epochs[-1] - epochs[0]
+        system = MithriLogSystem()
+        ingestor = StreamingIngestor(
+            system, batch_lines=100, snapshot_every_s=span / 5
+        )
+        ingestor.extend(corpus, timestamps=epochs)
+        ingestor.flush()
+        assert len(system.index.snapshots.snapshots) >= 3
+
+    def test_no_snapshots_without_timestamps(self, corpus):
+        system = MithriLogSystem()
+        ingestor = StreamingIngestor(system, batch_lines=100, snapshot_every_s=1.0)
+        ingestor.extend(corpus[:300])
+        ingestor.flush()
+        assert len(system.index.snapshots.snapshots) == 0

@@ -1,0 +1,72 @@
+"""Tests for top-k (limit) and newest-first query execution."""
+
+import pytest
+
+from repro.baselines.grep import grep_lines
+from repro.core.query import parse_query
+from repro.datasets.synthetic import generator_for
+from repro.errors import StorageError
+from repro.system.mithrilog import MithriLogSystem
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generator_for("Liberty2").generate(5000)
+
+
+@pytest.fixture(scope="module")
+def system(corpus):
+    sys = MithriLogSystem()
+    sys.ingest(corpus)
+    return sys
+
+
+class TestLimit:
+    def test_limit_caps_matches(self, system, corpus):
+        query = parse_query("kernel:")
+        outcome = system.query(query, limit=5)
+        assert len(outcome.matched_lines) == 5
+        expected = grep_lines(query, corpus)
+        # a prefix of the storage-ordered full result
+        assert outcome.matched_lines == expected[:5]
+
+    def test_limit_reads_fewer_pages(self, system):
+        query = parse_query("kernel:")
+        limited = system.query(query, limit=3)
+        full = system.query(query)
+        assert limited.stats.pages_read < full.stats.pages_read
+        assert limited.stats.bytes_from_flash < full.stats.bytes_from_flash
+        assert limited.stats.elapsed_s < full.stats.elapsed_s
+
+    def test_limit_larger_than_matches_returns_all(self, system, corpus):
+        query = parse_query("panic:")
+        expected = grep_lines(query, corpus)
+        outcome = system.query(query, limit=len(expected) + 100)
+        assert sorted(outcome.matched_lines) == sorted(expected)
+
+    def test_invalid_limit(self, system):
+        with pytest.raises(StorageError):
+            system.query(parse_query("kernel:"), limit=0)
+
+
+class TestNewestFirst:
+    def test_newest_first_returns_tail_matches(self, system, corpus):
+        query = parse_query("kernel:")
+        expected = grep_lines(query, corpus)
+        outcome = system.query(query, newest_first=True, limit=4)
+        # the matches come from the newest region of the log
+        tail = set(expected[-200:])
+        assert all(line in tail for line in outcome.matched_lines)
+        assert len(outcome.matched_lines) == 4
+
+    def test_newest_first_without_limit_same_set(self, system, corpus):
+        query = parse_query("panic:")
+        expected = sorted(grep_lines(query, corpus))
+        outcome = system.query(query, newest_first=True)
+        assert sorted(outcome.matched_lines) == expected
+
+    def test_newest_first_visits_high_addresses_first(self, system):
+        query = parse_query("kernel:")
+        limited = system.query(query, newest_first=True, limit=1)
+        # one match from the newest pages: barely any data touched
+        assert limited.stats.pages_read <= 3

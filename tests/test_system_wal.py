@@ -1,0 +1,107 @@
+"""Tests for write-ahead logging and crash recovery."""
+
+import pytest
+
+from repro.baselines.grep import grep_lines
+from repro.core.query import parse_query
+from repro.datasets.synthetic import generator_for
+from repro.errors import IngestError
+from repro.system.wal import JournaledMithriLog, WriteAheadLog
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generator_for("BGL2").generate(900)
+
+
+class TestWriteAheadLog:
+    def test_append_replay_roundtrip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.bin")
+        wal.append([b"one", b"two"])
+        wal.append([b"three"], timestamps=[5.0])
+        batches = list(wal.replay())
+        assert batches[0] == ([b"one", b"two"], None)
+        assert batches[1] == ([b"three"], [5.0])
+
+    def test_empty_batch_is_noop(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.bin")
+        wal.append([])
+        assert wal.size_bytes == 0
+        assert list(wal.replay()) == []
+
+    def test_torn_tail_record_dropped(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.bin")
+        wal.append([b"committed"])
+        wal.append([b"torn batch that crashed mid-write"])
+        blob = wal.path.read_bytes()
+        wal.path.write_bytes(blob[:-7])  # simulate the crash
+        batches = list(wal.replay())
+        assert batches == [([b"committed"], None)]
+
+    def test_truncate(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.bin")
+        wal.append([b"x"])
+        wal.truncate()
+        assert wal.size_bytes == 0
+        assert list(wal.replay()) == []
+
+    def test_timestamp_alignment_enforced(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.bin")
+        with pytest.raises(IngestError):
+            wal.append([b"a", b"b"], timestamps=[1.0])
+
+    def test_empty_line_batches_roundtrip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.bin")
+        wal.append([b"", b"a", b""])
+        assert list(wal.replay()) == [([b"", b"a", b""], None)]
+
+
+class TestCrashRecovery:
+    def test_recover_without_checkpoint(self, tmp_path, corpus):
+        journaled = JournaledMithriLog(tmp_path / "store")
+        journaled.ingest(corpus[:400])
+        # crash: the in-memory system is gone; only the WAL survives
+        recovered = JournaledMithriLog.recover(tmp_path / "store")
+        query = parse_query("KERNEL AND INFO")
+        expected = grep_lines(query, corpus[:400])
+        assert sorted(recovered.query(query).matched_lines) == sorted(expected)
+
+    def test_recover_checkpoint_plus_tail(self, tmp_path, corpus):
+        journaled = JournaledMithriLog(tmp_path / "store")
+        journaled.ingest(corpus[:300])
+        journaled.checkpoint()
+        journaled.ingest(corpus[300:600])  # journalled but not checkpointed
+        recovered = JournaledMithriLog.recover(tmp_path / "store")
+        assert recovered.system.total_lines == 600
+        query = parse_query("FATAL")
+        expected = grep_lines(query, corpus[:600])
+        assert sorted(recovered.query(query).matched_lines) == sorted(expected)
+
+    def test_checkpoint_truncates_wal(self, tmp_path, corpus):
+        journaled = JournaledMithriLog(tmp_path / "store")
+        journaled.ingest(corpus[:200])
+        assert journaled.wal.size_bytes > 0
+        journaled.checkpoint()
+        assert journaled.wal.size_bytes == 0
+
+    def test_recovery_preserves_timestamps(self, tmp_path, corpus):
+        epochs = [float(l.split()[1]) for l in corpus[:300]]
+        journaled = JournaledMithriLog(tmp_path / "store")
+        journaled.ingest(corpus[:300], timestamps=epochs)
+        recovered = JournaledMithriLog.recover(tmp_path / "store")
+        recovered.system.index.flush(timestamp=epochs[-1])
+        query = parse_query("KERNEL")
+        bounded = recovered.query(query, time_range=(epochs[0], epochs[-1]))
+        expected = grep_lines(query, corpus[:300])
+        assert sorted(bounded.matched_lines) == sorted(expected)
+
+    def test_double_recovery_is_stable(self, tmp_path, corpus):
+        journaled = JournaledMithriLog(tmp_path / "store")
+        journaled.ingest(corpus[:250])
+        first = JournaledMithriLog.recover(tmp_path / "store")
+        second = JournaledMithriLog.recover(tmp_path / "store")
+        query = parse_query("RAS")
+        assert (
+            sorted(first.query(query).matched_lines)
+            == sorted(second.query(query).matched_lines)
+        )

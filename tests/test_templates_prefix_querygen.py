@@ -1,0 +1,114 @@
+"""Tests for the prefix-tree extractor and the query workload generator."""
+
+import pytest
+
+from repro.core.query import Query
+from repro.errors import QueryError
+from repro.templates.fttree import FTTree, FTTreeParams, WILDCARD
+from repro.templates.prefixtree import PrefixTree, PrefixTreeParams
+from repro.templates.querygen import build_workload, combine
+
+
+def corpus():
+    lines = []
+    lines += [f"sshd auth failure user u{i}".encode() for i in range(30)]
+    lines += [f"kernel panic cpu {i}".encode() for i in range(20)]
+    lines += [b"cron job started"] * 15
+    return lines
+
+
+class TestPrefixTree:
+    def test_templates_positional(self):
+        tree = PrefixTree.from_lines(corpus(), PrefixTreeParams(prune_threshold=8))
+        paths = {t.tokens for t in tree.templates}
+        assert any(p[:3] == (b"sshd", b"auth", b"failure") for p in paths)
+
+    def test_variable_column_becomes_wildcard(self):
+        tree = PrefixTree.from_lines(corpus(), PrefixTreeParams(prune_threshold=8))
+        sshd = next(t for t in tree.templates if t.tokens[0] == b"sshd")
+        assert sshd.tokens[-1] == WILDCARD  # the user id column
+
+    def test_query_carries_column_constraints(self):
+        tree = PrefixTree.from_lines(corpus(), PrefixTreeParams(prune_threshold=8))
+        sshd = next(t for t in tree.templates if t.tokens[0] == b"sshd")
+        query = tree.template_query(sshd)
+        terms = query.intersections[0].terms
+        assert all(term.column is not None for term in terms)
+        assert query.matches_line(b"sshd auth failure user u99")
+        # same tokens, wrong positions: must not match
+        assert not query.matches_line(b"u99 sshd auth failure user")
+
+    def test_all_wildcard_template_rejected(self):
+        tree = PrefixTree.from_lines(corpus())
+        from repro.templates.fttree import Template
+
+        with pytest.raises(QueryError):
+            tree.template_query(
+                Template(template_id=0, tokens=(WILDCARD, WILDCARD), support=5)
+            )
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PrefixTreeParams(max_depth=0)
+        with pytest.raises(ValueError):
+            PrefixTreeParams(prune_threshold=1)
+
+
+class TestQueryWorkload:
+    @pytest.fixture
+    def tree(self):
+        return FTTree.from_lines(corpus(), FTTreeParams(prune_threshold=8))
+
+    def test_workload_shapes(self, tree):
+        workload = build_workload(tree, num_pairs=10, num_eights=4)
+        assert len(workload.pairs) == 10
+        assert len(workload.eights) == 4
+        assert len(workload.singles) == len(tree.templates)
+        assert workload.total_queries() == len(workload.singles) + 14
+
+    def test_workload_deterministic(self, tree):
+        w1 = build_workload(tree, seed=7)
+        w2 = build_workload(tree, seed=7)
+        assert w1.pairs == w2.pairs
+        assert w1.eights == w2.eights
+
+    def test_different_seeds_differ(self, tree):
+        w1 = build_workload(tree, seed=1, num_pairs=20)
+        w2 = build_workload(tree, seed=2, num_pairs=20)
+        assert w1.pairs != w2.pairs
+
+    def test_pairs_are_unions_of_two(self, tree):
+        workload = build_workload(tree, num_pairs=5)
+        for pair in workload.pairs:
+            single_sets = sum(len(q.intersections) for q in workload.singles[:1])
+            assert len(pair.intersections) >= 2
+
+    def test_combo_semantics_is_or(self, tree):
+        workload = build_workload(tree, num_pairs=5, num_eights=2)
+        q = workload.pairs[0]
+        line = b"cron job started"
+        memberwise = any(
+            single.matches_line(line)
+            and set(single.intersections).issubset(set(q.intersections))
+            for single in workload.singles
+        )
+        if memberwise:
+            assert q.matches_line(line)
+
+    def test_batches_map(self, tree):
+        workload = build_workload(tree, num_pairs=3, num_eights=2)
+        batches = workload.all_batches
+        assert set(batches) == {1, 2, 8}
+        assert batches[2] == workload.pairs
+
+    def test_max_singles_truncates(self, tree):
+        workload = build_workload(tree, max_singles=1)
+        assert len(workload.singles) == 1
+
+    def test_combine_empty_rejected(self):
+        with pytest.raises(QueryError):
+            combine([])
+
+    def test_combine_single(self):
+        q = Query.single("x")
+        assert combine([q]) == q

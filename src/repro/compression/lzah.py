@@ -24,11 +24,17 @@ it, and all three are kept here:
 
 Stream layout produced by :meth:`LZAHCompressor.compress` (one page):
 
-``u32 uncompressed_len | u32 num_pairs | chunk*``
+``u32 uncompressed_len | u32 num_pairs | u32 crc32 | chunk*``
 
 where each chunk is ``header word (word_bytes) | payloads | zero padding
 to word alignment`` and a payload is either a ``u16`` little-endian table
 index (header bit 1) or a zero-padded literal word (header bit 0).
+
+``crc32`` covers the *uncompressed* bytes, so any corruption of the
+stream that changes the decoded output is detected
+(:class:`repro.errors.CompressedFormatError`) instead of silently
+returning wrong log lines — the durability property the robustness
+suite's single-byte-corruption tests pin down.
 """
 
 from __future__ import annotations
@@ -41,7 +47,7 @@ from repro.compression.base import Compressor
 from repro.errors import CompressedFormatError
 from repro.params import LZAHParams
 
-_LEN_HEADER = 8  # u32 uncompressed_len + u32 num_pairs
+_LEN_HEADER = 12  # u32 uncompressed_len + u32 num_pairs + u32 crc32
 _INDEX_BYTES = 2
 
 
@@ -131,6 +137,7 @@ class LZAHCompressor(Compressor):
         return (
             len(data).to_bytes(4, "little")
             + len(pairs).to_bytes(4, "little")
+            + zlib.crc32(data).to_bytes(4, "little")
             + bytes(body)
         )
 
@@ -152,11 +159,13 @@ class LZAHCompressor(Compressor):
             raise CompressedFormatError("LZAH stream shorter than its header")
         total_len = int.from_bytes(data[0:4], "little")
         num_pairs = int.from_bytes(data[4:8], "little")
+        expected_crc = int.from_bytes(data[8:12], "little")
         header_bytes = p.pairs_per_chunk // 8
 
         table: list[Optional[bytes]] = [None] * p.hash_table_slots
         pos = _LEN_HEADER
         produced = 0
+        running_crc = 0
         remaining = num_pairs
         while remaining > 0:
             if pos + header_bytes > len(data):
@@ -195,6 +204,7 @@ class LZAHCompressor(Compressor):
                 if produced + len(consumed) > total_len:
                     consumed = consumed[: total_len - produced]
                 produced += len(consumed)
+                running_crc = zlib.crc32(consumed, running_crc)
                 yield consumed, padded
             remaining -= in_chunk
             # skip the chunk's alignment padding
@@ -204,4 +214,8 @@ class LZAHCompressor(Compressor):
         if produced != total_len:
             raise CompressedFormatError(
                 f"LZAH stream declared {total_len} bytes but decoded {produced}"
+            )
+        if running_crc != expected_crc:
+            raise CompressedFormatError(
+                "LZAH stream checksum mismatch: decoded data is corrupt"
             )

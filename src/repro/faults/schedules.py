@@ -1,0 +1,142 @@
+"""When a fault fires.
+
+A :class:`FaultSchedule` answers one question — "does the fault fire on
+this operation?" — given the injector's operation counter and, when the
+operation targets storage, the page address. Two families:
+
+- **probability-based**: :class:`BernoulliSchedule` draws from its own
+  seeded :class:`random.Random`, so a 1% fault rate replays identically
+  run after run;
+- **schedule-based**: :class:`EveryNthSchedule`,
+  :class:`AtOperationsSchedule` and :class:`AddressSchedule` fire at
+  exact, pre-planned points — the tool for regression tests that need a
+  fault on *precisely* the third read of page 7.
+
+Schedules compose with ``|`` (fires if either does) and ``&`` (fires only
+if both do). All schedules are deterministic given their construction
+arguments; none reads global random state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional
+
+
+class FaultSchedule:
+    """Base schedule: decides whether a fault fires on one operation."""
+
+    def fires(self, op_index: int, address: Optional[int] = None) -> bool:
+        """Return True when the fault should fire on this operation."""
+        raise NotImplementedError
+
+    def __or__(self, other: "FaultSchedule") -> "FaultSchedule":
+        return _AnySchedule(self, other)
+
+    def __and__(self, other: "FaultSchedule") -> "FaultSchedule":
+        return _AllSchedule(self, other)
+
+
+class _AnySchedule(FaultSchedule):
+    """Fires when any member schedule fires."""
+
+    def __init__(self, *members: FaultSchedule) -> None:
+        self.members = members
+
+    def fires(self, op_index: int, address: Optional[int] = None) -> bool:
+        """True when at least one member fires."""
+        return any(m.fires(op_index, address) for m in self.members)
+
+
+class _AllSchedule(FaultSchedule):
+    """Fires only when every member schedule fires."""
+
+    def __init__(self, *members: FaultSchedule) -> None:
+        self.members = members
+
+    def fires(self, op_index: int, address: Optional[int] = None) -> bool:
+        """True when all members fire."""
+        return all(m.fires(op_index, address) for m in self.members)
+
+
+class NeverSchedule(FaultSchedule):
+    """Never fires — the explicit off switch."""
+
+    def fires(self, op_index: int, address: Optional[int] = None) -> bool:
+        """Always False."""
+        return False
+
+
+class AlwaysSchedule(FaultSchedule):
+    """Fires on every operation — the worst-case switch."""
+
+    def fires(self, op_index: int, address: Optional[int] = None) -> bool:
+        """Always True."""
+        return True
+
+
+class BernoulliSchedule(FaultSchedule):
+    """Fires independently with probability ``rate`` per operation.
+
+    Draws come from a private seeded generator, so two runs with the same
+    seed inject faults on exactly the same operations regardless of what
+    other code does with the global :mod:`random` state.
+    """
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"fault rate {rate} outside [0, 1]")
+        self.rate = rate
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def fires(self, op_index: int, address: Optional[int] = None) -> bool:
+        """Seeded Bernoulli draw."""
+        if self.rate == 0.0:
+            return False
+        return self._rng.random() < self.rate
+
+    def reset(self) -> None:
+        """Rewind the generator to reproduce the same fault sequence."""
+        self._rng = random.Random(self.seed)
+
+
+class EveryNthSchedule(FaultSchedule):
+    """Fires on every ``n``-th operation (op_index ≡ offset mod n)."""
+
+    def __init__(self, n: int, offset: int = 0) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self.n = n
+        self.offset = offset % n
+
+    def fires(self, op_index: int, address: Optional[int] = None) -> bool:
+        """True when the operation index hits the stride."""
+        return op_index % self.n == self.offset
+
+
+class AtOperationsSchedule(FaultSchedule):
+    """Fires at an explicit set of operation indices."""
+
+    def __init__(self, op_indices: Iterable[int]) -> None:
+        self.op_indices = frozenset(op_indices)
+
+    def fires(self, op_index: int, address: Optional[int] = None) -> bool:
+        """True when the operation index is in the planned set."""
+        return op_index in self.op_indices
+
+
+class AddressSchedule(FaultSchedule):
+    """Fires whenever the operation targets one of the given addresses.
+
+    Address-keyed faults are *persistent by construction* — every access
+    to a listed page fails — which is how bad cells behave, as opposed to
+    the transient, operation-keyed schedules above.
+    """
+
+    def __init__(self, addresses: Iterable[int]) -> None:
+        self.addresses = frozenset(addresses)
+
+    def fires(self, op_index: int, address: Optional[int] = None) -> bool:
+        """True when the target address is in the bad set."""
+        return address is not None and address in self.addresses

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 from repro.core.query import Query
-from repro.errors import IndexError_
+from repro.errors import LogIndexError
 
 
 @dataclass(frozen=True)
@@ -39,9 +39,9 @@ class BloomParams:
 
     def __post_init__(self) -> None:
         if self.bits <= 0 or self.bits & (self.bits - 1):
-            raise IndexError_("bloom bits must be a positive power of two")
+            raise LogIndexError("bloom bits must be a positive power of two")
         if self.hashes <= 0:
-            raise IndexError_("bloom needs at least one hash")
+            raise LogIndexError("bloom needs at least one hash")
 
     def false_positive_rate(self, items: int) -> float:
         """The textbook FPR estimate for ``items`` inserted tokens."""
@@ -99,7 +99,7 @@ class PageBloomIndex:
 
     def index_page(self, page_addr: int, tokens: Iterable[bytes]) -> None:
         if self._order and page_addr <= self._order[-1]:
-            raise IndexError_(
+            raise LogIndexError(
                 f"page {page_addr} indexed out of append order"
             )
         bloom = BloomFilter(self.params, seed=self.seed)

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 from repro.core.query import Query
-from repro.errors import IndexError_
+from repro.errors import LogIndexError
 from repro.index.hashindex import HashIndexTable
 from repro.index.snapshots import SnapshotIndex
 from repro.index.storetree import NIL, TreeListStore
@@ -92,7 +92,7 @@ class InvertedIndex:
         it.
         """
         if self._data_pages and page_addr <= self._data_pages[-1]:
-            raise IndexError_(
+            raise LogIndexError(
                 f"data page {page_addr} indexed out of append order "
                 f"(last was {self._data_pages[-1]})"
             )

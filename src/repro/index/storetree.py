@@ -20,7 +20,7 @@ import struct
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.errors import IndexError_
+from repro.errors import LogIndexError
 from repro.sim.clock import SimClock
 from repro.storage.flash import FlashArray
 from repro.storage.page import Page
@@ -44,7 +44,7 @@ class NodePool:
 
     def __init__(self, flash: FlashArray, node_bytes: int, page_bytes: int) -> None:
         if page_bytes % node_bytes:
-            raise IndexError_(
+            raise LogIndexError(
                 f"page size {page_bytes} not a multiple of node size {node_bytes}"
             )
         self.flash = flash
@@ -68,7 +68,7 @@ class NodePool:
     def append(self, node: bytes) -> int:
         """Store one node; returns its node id."""
         if len(node) != self.node_bytes:
-            raise IndexError_(
+            raise LogIndexError(
                 f"node of {len(node)} bytes in a {self.node_bytes}-byte pool"
             )
         self._tail.extend(node)
@@ -96,7 +96,7 @@ class NodePool:
     def read(self, node_id: int, clock: Optional[SimClock] = None) -> bytes:
         """Fetch one node; charges a flash page access when persisted."""
         if not 0 <= node_id < self._next_node_id:
-            raise IndexError_(f"node id {node_id} was never written")
+            raise LogIndexError(f"node id {node_id} was never written")
         seq, slot = divmod(node_id, self.slots_per_page)
         if seq < len(self._page_addrs):
             page = self.flash.read_page(self._page_addrs[seq], clock=clock)
@@ -106,7 +106,7 @@ class NodePool:
         start = slot * self.node_bytes
         node = data[start : start + self.node_bytes]
         if len(node) != self.node_bytes:
-            raise IndexError_(f"node id {node_id} not materialised yet")
+            raise LogIndexError(f"node id {node_id} not materialised yet")
         return node
 
     def to_state(self) -> dict:
@@ -158,7 +158,7 @@ class LeafNode:
 
     def __post_init__(self) -> None:
         if len(self.addresses) > NODE_FANOUT:
-            raise IndexError_("leaf node overflow")
+            raise LogIndexError("leaf node overflow")
 
     def pack(self) -> bytes:
         padded = self.addresses + (NIL,) * (NODE_FANOUT - len(self.addresses))
@@ -179,7 +179,7 @@ class RootNode:
 
     def __post_init__(self) -> None:
         if len(self.leaf_ids) > NODE_FANOUT:
-            raise IndexError_("root node overflow")
+            raise LogIndexError("root node overflow")
 
     def pack(self) -> bytes:
         padded = self.leaf_ids + (NIL,) * (NODE_FANOUT - len(self.leaf_ids))
@@ -239,7 +239,7 @@ class TreeListStore:
         while root_id != NIL:
             hops += 1
             if hops > self.roots.nodes_written + 1:
-                raise IndexError_("root linked list contains a cycle")
+                raise LogIndexError("root linked list contains a cycle")
             root = RootNode.unpack(self.roots.read(root_id, clock=clock))
             leaf_blobs = self.leaves.read_many(list(root.leaf_ids), clock=clock)
             for blob in leaf_blobs:

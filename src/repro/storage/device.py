@@ -21,7 +21,12 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
-from repro.errors import StorageError
+from repro.errors import (
+    RETRYABLE_STORAGE_ERRORS,
+    ReadRetryExhaustedError,
+    StorageError,
+)
+from repro.faults.policies import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.params import StorageParams
 from repro.sim.clock import SimClock
 from repro.storage.flash import FlashArray
@@ -55,6 +60,7 @@ class DeviceReadResult:
     lines_seen: int = 0
     lines_kept: int = 0
     elapsed_s: float = 0.0
+    read_retries: int = 0  #: transient page-read faults absorbed by retry
 
     @property
     def selectivity(self) -> float:
@@ -80,6 +86,7 @@ class MithriLogDevice:
         params: Optional[StorageParams] = None,
         host_link: Optional[HostLink] = None,
         flash: Optional[FlashArray] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.params = params if params is not None else StorageParams()
         self.flash = flash if flash is not None else FlashArray(self.params)
@@ -87,6 +94,9 @@ class MithriLogDevice:
             bandwidth=self.params.external_bandwidth
         )
         self.config = DeviceConfig()
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+        )
 
     # -- configuration -------------------------------------------------
 
@@ -108,6 +118,57 @@ class MithriLogDevice:
 
     def write_page(self, address: int, page: Page) -> None:
         self.flash.write_page(address, page)
+
+    # -- fault-tolerant page fetch ----------------------------------------
+
+    def _read_one_with_retry(
+        self, address: int, clock: Optional[SimClock]
+    ) -> tuple[Page, int]:
+        """Read one page, absorbing transient faults under the retry policy.
+
+        Each retry waits the policy's backoff (charged to ``clock`` when
+        present) and re-issues the read; the stored page is re-fetched, so
+        read-path faults (bus errors, read-disturb flips) clear. Raises
+        :class:`repro.errors.ReadRetryExhaustedError` once the budget is
+        spent; persistent faults (bad blocks, bounds) pass through at once.
+        """
+        policy = self.retry_policy
+        retries = 0
+        while True:
+            try:
+                return self.flash.read_page(address, clock=clock), retries
+            except RETRYABLE_STORAGE_ERRORS as exc:
+                retries += 1
+                if retries > policy.max_retries:
+                    raise ReadRetryExhaustedError(
+                        f"page {address} still failing after "
+                        f"{policy.max_retries} retries: {exc}"
+                    ) from exc
+                if clock is not None:
+                    clock.advance(policy.backoff(retries))
+
+    def _read_batch_with_retry(
+        self, addresses: Sequence[int], clock: Optional[SimClock]
+    ) -> tuple[list[Page], int]:
+        """Batched read with a fault-free fast path.
+
+        The common case — no injector, no faults — is exactly the old
+        single ``read_pages`` call. Only when a transient fault interrupts
+        the batch does the slow path take over, re-reading page by page
+        under the retry policy (paying per-page latency, as a controller
+        re-issuing individual reads would).
+        """
+        try:
+            return self.flash.read_pages(addresses, clock=clock), 0
+        except RETRYABLE_STORAGE_ERRORS:
+            pass
+        retries = 1  # the torn batch attempt itself
+        pages: list[Page] = []
+        for address in addresses:
+            page, extra = self._read_one_with_retry(address, clock)
+            pages.append(page)
+            retries += extra
+        return pages, retries
 
     # -- reads -----------------------------------------------------------
 
@@ -139,10 +200,11 @@ class MithriLogDevice:
         lines_seen = 0
         lines_kept = 0
         pages_read = 0
+        read_retries = 0
 
         if stop_after_matches is None:
             # one batched request: sequential runs amortise access latency
-            pages = self.flash.read_pages(wanted, clock=clock)
+            pages, read_retries = self._read_batch_with_retry(wanted, clock)
         else:
             pages = None  # cancellable path fetches page by page below
 
@@ -150,7 +212,8 @@ class MithriLogDevice:
             if pages is not None:
                 page = pages[index]
             else:
-                page = self.flash.read_pages([address], clock=clock)[0]
+                page, extra = self._read_one_with_retry(address, clock)
+                read_retries += extra
             pages_read += 1
             bytes_from_flash += len(page)
             payload = page.data
@@ -195,4 +258,5 @@ class MithriLogDevice:
             lines_seen=lines_seen,
             lines_kept=lines_kept,
             elapsed_s=elapsed,
+            read_retries=read_retries,
         )

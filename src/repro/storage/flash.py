@@ -11,22 +11,36 @@ clock and pay nothing; the performance benches drive reads against a
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
-from repro.errors import PageBoundsError, StorageError
+from repro.errors import PageBoundsError, StorageError, UnwrittenPageError
 from repro.params import StorageParams
 from repro.sim.bandwidth import LinkModel
 from repro.sim.clock import SimClock
 from repro.storage.page import Page
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injectors import PageFaultInjector
+
 
 class FlashArray:
-    """A fixed-capacity array of flash pages with an internal-bandwidth model."""
+    """A fixed-capacity array of flash pages with an internal-bandwidth model.
 
-    def __init__(self, params: Optional[StorageParams] = None) -> None:
+    An optional :class:`repro.faults.PageFaultInjector` can be attached
+    (``fault_injector``); it is consulted on every page read and may raise
+    a transient/persistent storage error or hand back a bit-flipped copy.
+    When no injector is attached the read path pays one ``is None`` test.
+    """
+
+    def __init__(
+        self,
+        params: Optional[StorageParams] = None,
+        fault_injector: Optional["PageFaultInjector"] = None,
+    ) -> None:
         self.params = params if params is not None else StorageParams()
         self._pages: dict[int, Page] = {}
         self._next_free = 0
+        self.fault_injector = fault_injector
         self.internal_link = LinkModel(
             bandwidth=self.params.internal_bandwidth,
             latency_s=self.params.latency_s,
@@ -76,7 +90,11 @@ class FlashArray:
         try:
             page = self._pages[address]
         except KeyError:
-            raise StorageError(f"page {address} has never been written") from None
+            raise UnwrittenPageError(
+                f"page {address} has never been written"
+            ) from None
+        if self.fault_injector is not None:
+            page = self.fault_injector.on_read(address, page)
         if clock is not None:
             self.internal_link.transfer_on(clock, len(page))
         page.verify()
@@ -100,8 +118,10 @@ class FlashArray:
         for addr in addrs:
             self._check_address(addr)
             if addr not in self._pages:
-                raise StorageError(f"page {addr} has never been written")
+                raise UnwrittenPageError(f"page {addr} has never been written")
             page = self._pages[addr]
+            if self.fault_injector is not None:
+                page = self.fault_injector.on_read(addr, page)
             page.verify()
             pages.append(page)
             if clock is not None:

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.errors import PageBoundsError, StorageError
+from repro.errors import BadBlockError, PageBoundsError, StorageError
 from repro.params import StorageParams
 from repro.storage.flash import FlashArray
 from repro.storage.page import Page
@@ -56,6 +56,8 @@ class FTLStats:
     gc_relocations: int
     min_erase: int
     max_erase: int
+    retired_blocks: int = 0
+    lost_pages: int = 0
 
     @property
     def write_amplification(self) -> float:
@@ -94,13 +96,16 @@ class FlashTranslationLayer:
         self.nand_writes = 0
         self.erases = 0
         self.gc_relocations = 0
+        self.bad_blocks: set[int] = set()
+        self._lost: set[int] = set()  # logical pages destroyed with a bad block
 
     # -- capacity -----------------------------------------------------------
 
     @property
     def capacity_pages(self) -> int:
         # reserve the GC headroom: over-provisioning, as real SSDs do
-        return (len(self._blocks) - self.gc_threshold) * self.pages_per_block
+        usable = len(self._blocks) - len(self.bad_blocks) - self.gc_threshold
+        return max(usable, 0) * self.pages_per_block
 
     @property
     def free_blocks(self) -> int:
@@ -115,6 +120,8 @@ class FlashTranslationLayer:
             gc_relocations=self.gc_relocations,
             min_erase=min(erases),
             max_erase=max(erases),
+            retired_blocks=len(self.bad_blocks),
+            lost_pages=len(self._lost),
         )
 
     # -- write path -----------------------------------------------------------
@@ -137,6 +144,7 @@ class FlashTranslationLayer:
         if logical not in self._l2p and len(self._l2p) >= self.capacity_pages:
             raise StorageError("FTL logical capacity exhausted")
         self.host_writes += 1
+        self._lost.discard(logical)  # rewriting a lost page makes it valid again
         self._invalidate(logical)
         self._program(logical, page)
         if self.free_blocks <= self.gc_threshold:
@@ -161,13 +169,18 @@ class FlashTranslationLayer:
     # -- read path -----------------------------------------------------------
 
     def read(self, logical: int) -> Page:
+        if logical in self._lost:
+            raise BadBlockError(
+                f"logical page {logical} was lost when its block went bad"
+            )
         slot = self._l2p.get(logical)
         if slot is None:
             raise StorageError(f"logical page {logical} has never been written")
         return self._p2l[slot][1]
 
     def __contains__(self, logical: int) -> bool:
-        return logical in self._l2p
+        # lost pages *were* written; reads of them raise BadBlockError
+        return logical in self._l2p or logical in self._lost
 
     # -- garbage collection ----------------------------------------------------
 
@@ -184,6 +197,7 @@ class FlashTranslationLayer:
             for b in self._blocks
             if b is not self._active
             and b.index not in self._free
+            and b.index not in self.bad_blocks
             and b.is_full(self.pages_per_block)
         ]
         reclaimable = [
@@ -212,6 +226,47 @@ class FlashTranslationLayer:
         victim.erase_count += 1
         self.erases += 1
         self._free.append(victim.index)
+
+    # -- bad-block management --------------------------------------------------
+
+    def retire_block(self, index: int, relocate: bool = True) -> int:
+        """Take one erase block permanently out of service (it went bad).
+
+        With ``relocate=True`` the controller could still read the failing
+        block (e.g. a program/erase failure) and moves its live pages to
+        healthy blocks — no data is lost. With ``relocate=False`` the
+        block died outright: its live pages are *lost* and every future
+        read of them raises :class:`repro.errors.BadBlockError` until the
+        host rewrites them. Returns the number of live pages affected.
+        """
+        if not 0 <= index < len(self._blocks):
+            raise PageBoundsError(f"no block {index} to retire")
+        if index in self.bad_blocks:
+            return 0
+        block = self._blocks[index]
+        if block is self._active:
+            self._advance_active()
+        if index in self._free:
+            self._free.remove(index)
+        self.bad_blocks.add(index)
+        base = index * self.pages_per_block
+        live = [
+            (slot, self._p2l[slot])
+            for slot in range(base, base + self.pages_per_block)
+            if slot in self._p2l
+        ]
+        for slot, (logical, page) in live:
+            self._p2l.pop(slot)
+            self._l2p.pop(logical)
+            block.valid -= 1
+            if relocate:
+                self._program(logical, page)
+                self.gc_relocations += 1
+            else:
+                self._lost.add(logical)
+        if self.free_blocks <= self.gc_threshold:
+            self._collect_garbage()
+        return len(live)
 
 
 class FTLFlashArray(FlashArray):

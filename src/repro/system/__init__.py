@@ -8,7 +8,7 @@
 - :mod:`repro.system.report` — text renderers for the tables/figures.
 """
 
-from repro.system.cluster import MithriLogCluster
+from repro.system.cluster import ClusterQueryOutcome, MithriLogCluster, ShardError
 from repro.system.comparison import ComparisonHarness
 from repro.system.mithrilog import IngestReport, MithriLogSystem, QueryOutcome
 from repro.system.persistence import load_store, save_store
@@ -18,10 +18,12 @@ from repro.system.streaming import StreamingIngestor
 from repro.system.wal import JournaledMithriLog, WriteAheadLog
 
 __all__ = [
+    "ClusterQueryOutcome",
     "ComparisonHarness",
     "IngestReport",
     "JournaledMithriLog",
     "MithriLogCluster",
+    "ShardError",
     "MithriLogSystem",
     "QueryOutcome",
     "QueryPlan",

@@ -15,13 +15,16 @@ snapshots rely on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.core.query import Query
-from repro.errors import IngestError, QueryError
+from repro.errors import IngestError, QueryError, StorageError
 from repro.params import SystemParams
 from repro.system.mithrilog import IngestReport, MithriLogSystem, QueryOutcome
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injectors import ShardFaultInjector
 
 
 @dataclass(frozen=True)
@@ -51,13 +54,50 @@ class ClusterIngestReport:
         return max((r.elapsed_s for r in self.shards), default=0.0)
 
 
+@dataclass(frozen=True)
+class ShardError:
+    """One shard's failure during a scatter-gather query."""
+
+    shard: int
+    error: str  #: exception class name, e.g. ``BadBlockError``
+    message: str
+
+    def __str__(self) -> str:
+        """Compact ``shard 2: BadBlockError(...)`` rendering."""
+        return f"shard {self.shard}: {self.error}({self.message})"
+
+
 @dataclass
 class ClusterQueryOutcome:
-    """Scatter-gather query result."""
+    """Scatter-gather query result.
+
+    When every shard answered, ``complete`` is True and the result is
+    exhaustive. When shards failed (after the device exhausted its
+    retries, or the shard was down), the outcome is explicitly
+    ``degraded``: the matches from healthy shards are returned and every
+    failing shard is listed in ``shard_errors`` — partial data is never
+    passed off as complete.
+    """
 
     per_shard: list[QueryOutcome]
     matched_lines: list[bytes]
     per_query_counts: list[int]
+    shard_errors: list[ShardError] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one shard failed to answer."""
+        return bool(self.shard_errors)
+
+    @property
+    def complete(self) -> bool:
+        """True when every queried shard answered."""
+        return not self.shard_errors
+
+    @property
+    def failed_shards(self) -> list[int]:
+        """Indices of the shards that failed to answer."""
+        return [e.shard for e in self.shard_errors]
 
     @property
     def elapsed_s(self) -> float:
@@ -83,12 +123,14 @@ class MithriLogCluster:
         num_shards: int = 4,
         params: Optional[SystemParams] = None,
         seed: int = 0,
+        fault_injector: Optional["ShardFaultInjector"] = None,
     ) -> None:
         if num_shards <= 0:
             raise ValueError("need at least one shard")
         self.shards = [
             MithriLogSystem(params, seed=seed + i) for i in range(num_shards)
         ]
+        self.fault_injector = fault_injector
 
     @property
     def num_shards(self) -> int:
@@ -132,16 +174,34 @@ class MithriLogCluster:
     # -- query ---------------------------------------------------------------
 
     def query(self, *queries: Query, use_index: bool = True) -> ClusterQueryOutcome:
-        """Scatter the queries, gather matches in shard order."""
+        """Scatter the queries, gather matches in shard order.
+
+        Storage failures inside a shard (a page still failing after the
+        device's retries, a shard that is down) do not fail the whole
+        query: the shard is recorded in ``shard_errors`` and the outcome
+        comes back explicitly degraded, with the healthy shards' matches
+        intact.
+        """
         if not queries:
             raise QueryError("query() needs at least one query")
         per_shard = []
         matched: list[bytes] = []
         counts = [0] * len(queries)
-        for shard in self.shards:
+        shard_errors: list[ShardError] = []
+        for index, shard in enumerate(self.shards):
             if shard.total_lines == 0:
                 continue
-            outcome = shard.query(*queries, use_index=use_index)
+            try:
+                if self.fault_injector is not None:
+                    self.fault_injector.on_query(index)
+                outcome = shard.query(*queries, use_index=use_index)
+            except StorageError as exc:
+                shard_errors.append(
+                    ShardError(
+                        shard=index, error=type(exc).__name__, message=str(exc)
+                    )
+                )
+                continue
             per_shard.append(outcome)
             matched.extend(outcome.matched_lines)
             for q in range(len(queries)):
@@ -150,6 +210,7 @@ class MithriLogCluster:
             per_shard=per_shard,
             matched_lines=matched,
             per_query_counts=counts,
+            shard_errors=shard_errors,
         )
 
     def scan_all(self, *queries: Query) -> ClusterQueryOutcome:

@@ -111,6 +111,7 @@ class QueryStats:
     index_time_s: float = 0.0
     scan_time_s: float = 0.0
     offloaded: bool = True
+    read_retries: int = 0  #: transient page faults absorbed by device retries
 
     @property
     def elapsed_s(self) -> float:
@@ -337,6 +338,7 @@ class MithriLogSystem:
         stats.bytes_to_host = read.bytes_to_host
         stats.lines_seen = read.lines_seen
         stats.lines_kept = read.lines_kept
+        stats.read_retries = read.read_retries
         stats.scan_time_s = self._scan_time(read, candidates)
 
         matched = read.data.splitlines()

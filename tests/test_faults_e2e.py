@@ -1,0 +1,140 @@
+"""End-to-end robustness: a cluster under injected storage faults.
+
+The acceptance property of the fault framework: ingest >= 10k lines into
+a sharded deployment, inject a 1% page-read fault rate (plus bit flips),
+and every query must either return the exact grep-oracle result (after
+the device's retries absorbed the faults) or come back *explicitly*
+degraded, listing the failing shards — silent data loss is never an
+outcome.
+"""
+
+import pytest
+
+from repro.baselines.grep import grep_lines
+from repro.core.query import parse_query
+from repro.datasets.synthetic import generator_for
+from repro.faults import (
+    AddressSchedule,
+    BernoulliSchedule,
+    ShardFaultInjector,
+    inject_page_faults,
+)
+from repro.system.cluster import MithriLogCluster
+
+SEED = 20_210_818  # the paper's MICRO camera-ready year+date, fixed forever
+NUM_LINES = 10_500
+NUM_SHARDS = 4
+
+QUERY_EXPRS = [
+    "panic:",
+    "session AND opened",
+    "sshd AND NOT Failed",
+    "NOT kernel:",  # full scan: touches every data page on every shard
+]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generator_for("Liberty2").generate(NUM_LINES)
+
+
+@pytest.fixture(scope="module")
+def cluster(corpus):
+    built = MithriLogCluster(num_shards=NUM_SHARDS, seed=SEED)
+    built.ingest(corpus)
+    return built
+
+
+def _shard_slices(corpus):
+    base, extra = len(corpus) // NUM_SHARDS, len(corpus) % NUM_SHARDS
+    slices, start = [], 0
+    for index in range(NUM_SHARDS):
+        size = base + (1 if index < extra else 0)
+        slices.append(corpus[start : start + size])
+        start += size
+    return slices
+
+
+class TestTransientFaultStorm:
+    def test_queries_survive_one_percent_read_faults(self, cluster, corpus):
+        log = inject_page_faults(
+            cluster,
+            read_errors=BernoulliSchedule(0.01, seed=SEED),
+            bit_flips=BernoulliSchedule(0.005, seed=SEED + 1),
+            seed=SEED,
+        )
+        try:
+            retries = 0
+            for expr in QUERY_EXPRS:
+                query = parse_query(expr)
+                outcome = cluster.query(query)
+                oracle = grep_lines(query, corpus)
+                if outcome.complete:
+                    assert sorted(outcome.matched_lines) == sorted(oracle), expr
+                else:
+                    # degraded is an acceptable outcome, but it must be loud
+                    assert outcome.degraded and outcome.failed_shards, expr
+                    assert all(e.message for e in outcome.shard_errors)
+                retries += sum(o.stats.read_retries for o in outcome.per_shard)
+            # the storm was real and the retry machinery absorbed it
+            assert log.count("read_error") > 0
+            assert log.count("bit_flip") > 0
+            assert retries > 0
+        finally:
+            for shard in cluster.shards:
+                shard.device.flash.fault_injector = None
+
+    def test_clean_run_after_injection_removed(self, cluster, corpus):
+        query = parse_query("panic:")
+        outcome = cluster.query(query)
+        assert outcome.complete
+        assert sorted(outcome.matched_lines) == sorted(grep_lines(query, corpus))
+
+
+class TestPersistentFaultDegradation:
+    def test_dead_page_degrades_exactly_one_shard(self, cluster, corpus):
+        victim_page = cluster.shards[0].index.data_pages[0]
+        # shards have independent address spaces: poison only shard 0's
+        log = inject_page_faults(
+            cluster.shards[0], bad_addresses={victim_page}, seed=SEED
+        )
+        try:
+            query = parse_query("NOT kernel:")  # full scan hits the dead page
+            outcome = cluster.scan_all(query)
+            assert outcome.degraded
+            assert outcome.failed_shards == [0]
+            assert outcome.shard_errors[0].error in (
+                "BadBlockError",
+                "ReadRetryExhaustedError",
+            )
+            # healthy shards still answer, and answer correctly
+            healthy_lines = [
+                line for s in _shard_slices(corpus)[1:] for line in s
+            ]
+            assert sorted(outcome.matched_lines) == sorted(
+                grep_lines(query, healthy_lines)
+            )
+            assert log.count("bad_block") > 0
+        finally:
+            for shard in cluster.shards:
+                shard.device.flash.fault_injector = None
+
+    def test_downed_shard_is_reported_not_hidden(self, cluster, corpus):
+        cluster.fault_injector = ShardFaultInjector(
+            shard_down=AddressSchedule({2})
+        )
+        try:
+            query = parse_query("panic:")
+            outcome = cluster.query(query)
+            assert outcome.failed_shards == [2]
+            healthy = [
+                line
+                for i, s in enumerate(_shard_slices(corpus))
+                if i != 2
+                for line in s
+            ]
+            assert sorted(outcome.matched_lines) == sorted(
+                grep_lines(query, healthy)
+            )
+        finally:
+            cluster.fault_injector = None

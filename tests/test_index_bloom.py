@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.query import parse_query
 from repro.core.tokenizer import split_tokens
-from repro.errors import IndexError_
+from repro.errors import LogIndexError
 from repro.index.bloom import BloomFilter, BloomParams, PageBloomIndex
 
 
@@ -33,9 +33,9 @@ class TestBloomFilter:
         assert params.false_positive_rate(10) < params.false_positive_rate(500)
 
     def test_params_validation(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(LogIndexError):
             BloomParams(bits=1000)  # not a power of two
-        with pytest.raises(IndexError_):
+        with pytest.raises(LogIndexError):
             BloomParams(hashes=0)
 
     def test_memory_accounting(self):
@@ -81,7 +81,7 @@ class TestPageBloomIndex:
 
     def test_out_of_order_rejected(self):
         index = self.build()
-        with pytest.raises(IndexError_):
+        with pytest.raises(LogIndexError):
             index.index_page(1, [b"x"])
 
     def test_memory_proportional_to_pages(self):

@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.query import Query, Term, parse_query
 from repro.core.tokenizer import split_tokens
-from repro.errors import IndexError_
+from repro.errors import LogIndexError
 from repro.index.inverted import InvertedIndex
 from repro.params import IndexParams, StorageParams
 from repro.storage.flash import FlashArray
@@ -103,9 +103,9 @@ class TestIngestInvariants:
         flash = FlashArray(StorageParams(capacity_pages=1024))
         index = InvertedIndex(flash)
         index.index_page(5, [b"a"])
-        with pytest.raises(IndexError_):
+        with pytest.raises(LogIndexError):
             index.index_page(5, [b"b"])
-        with pytest.raises(IndexError_):
+        with pytest.raises(LogIndexError):
             index.index_page(3, [b"c"])
 
     def test_memory_footprint_bounded(self):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import IndexError_
+from repro.errors import LogIndexError
 from repro.index.storetree import (
     NIL,
     LeafNode,
@@ -35,7 +35,7 @@ class TestNodeSerialisation:
         assert LeafNode.unpack(leaf.pack()).addresses == tuple(range(16))
 
     def test_leaf_overflow_rejected(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(LogIndexError):
             LeafNode(addresses=tuple(range(17)))
 
     def test_root_roundtrip(self):
@@ -83,16 +83,16 @@ class TestNodePool:
 
     def test_unwritten_node_rejected(self, flash):
         pool = NodePool(flash, node_bytes=64, page_bytes=PAGE_BYTES)
-        with pytest.raises(IndexError_):
+        with pytest.raises(LogIndexError):
             pool.read(0)
 
     def test_wrong_node_size_rejected(self, flash):
         pool = NodePool(flash, node_bytes=64, page_bytes=PAGE_BYTES)
-        with pytest.raises(IndexError_):
+        with pytest.raises(LogIndexError):
             pool.append(b"short")
 
     def test_nondividing_page_size_rejected(self, flash):
-        with pytest.raises(IndexError_):
+        with pytest.raises(LogIndexError):
             NodePool(flash, node_bytes=72, page_bytes=PAGE_BYTES)
 
     def test_read_many_charges_each_page_once(self):
@@ -167,5 +167,5 @@ class TestTreeListWalk:
         # hand-craft a self-referencing root
         leaf = store.write_leaf([1, 2, 3])
         root_id = store.write_root([leaf], next_root=0)  # points at itself
-        with pytest.raises(IndexError_):
+        with pytest.raises(LogIndexError):
             store.walk(root_id)

@@ -1,0 +1,166 @@
+"""Property-based round-trip tests for the two on-disk codecs.
+
+Two invariants, driven by hypothesis over randomized inputs (empty
+lines, very long lines, multibyte UTF-8) and by exhaustive single-byte
+corruption sweeps:
+
+1. ``decode(encode(x)) == x`` for the LZAH page codec and the WAL
+   record codec;
+2. corrupting any single byte of an encoded blob either raises a
+   *detected* error or decodes to the identical payload — never to
+   silently wrong data.
+"""
+
+import random
+import zlib
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.compression.lzah import LZAHCompressor
+from repro.errors import MithriLogError, TornRecordError, WalRecordError
+from repro.system.wal import decode_record, encode_record
+
+# -- strategies ----------------------------------------------------------
+
+_text_line = st.text(
+    alphabet=st.characters(blacklist_characters="\n", blacklist_categories=("Cs",)),
+    max_size=120,
+).map(lambda s: s.encode("utf-8"))
+
+_binary_line = st.binary(max_size=400).map(lambda b: b.replace(b"\n", b" "))
+
+_long_line = st.just(b"x" * 3000)
+
+_lines = st.lists(
+    st.one_of(st.just(b""), _text_line, _binary_line, _long_line),
+    min_size=1,
+    max_size=12,
+)
+
+_stamps = st.lists(
+    st.floats(min_value=0.0, max_value=2e9, allow_nan=False), min_size=1, max_size=12
+)
+
+
+# -- LZAH round trip ------------------------------------------------------
+
+
+class TestLZAHRoundTrip:
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(lines=_lines)
+    def test_roundtrip_lines(self, lines):
+        codec = LZAHCompressor()
+        data = b"\n".join(lines) + b"\n"
+        assert codec.decompress(codec.compress(data)) == data
+
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(data=st.binary(max_size=4000))
+    def test_roundtrip_arbitrary_bytes(self, data):
+        codec = LZAHCompressor()
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_roundtrip_repetitive_multibyte_utf8(self):
+        codec = LZAHCompressor()
+        data = ("naïve café żółć 日本語ログ " * 200).encode("utf-8")
+        blob = codec.compress(data)
+        assert codec.decompress(blob) == data
+        assert len(blob) < len(data)  # repetition actually compresses
+
+    def test_single_byte_corruption_never_silent(self):
+        rng = random.Random(42)
+        payloads = [
+            b"",
+            b"GET /index.html 200\n" * 40,
+            bytes(rng.randrange(256) for _ in range(600)),
+            ("sshd session öpened für user 日本\n" * 30).encode("utf-8"),
+        ]
+        codec = LZAHCompressor()
+        for data in payloads:
+            blob = codec.compress(data)
+            for pos in range(len(blob)):
+                for flip in (0xFF, 0x01):
+                    bad = bytearray(blob)
+                    bad[pos] ^= flip
+                    try:
+                        out = codec.decompress(bytes(bad))
+                    except MithriLogError:
+                        continue  # detected: fine
+                    assert out == data, (
+                        f"silent corruption at byte {pos} (xor {flip:#x})"
+                    )
+
+
+# -- WAL record codec -----------------------------------------------------
+
+
+class TestWalRecordRoundTrip:
+    @settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(lines=_lines, data=st.data())
+    def test_roundtrip(self, lines, data):
+        with_stamps = data.draw(st.booleans())
+        stamps = (
+            data.draw(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=2e9, allow_nan=False),
+                    min_size=len(lines),
+                    max_size=len(lines),
+                )
+            )
+            if with_stamps
+            else None
+        )
+        blob = encode_record(lines, stamps)
+        out_lines, out_stamps, next_pos = decode_record(blob)
+        assert out_lines == list(lines)
+        assert out_stamps == stamps
+        assert next_pos == len(blob)
+
+    def test_concatenated_records_decode_in_sequence(self):
+        batches = [[b"a", b"b"], [b""], [b"long " * 500]]
+        blob = b"".join(encode_record(lines) for lines in batches)
+        pos, seen = 0, []
+        while pos < len(blob):
+            lines, _, pos = decode_record(blob, pos)
+            seen.append(lines)
+        assert seen == batches
+
+    def test_truncated_record_is_torn(self):
+        blob = encode_record([b"hello", b"world"], [1.0, 2.0])
+        for cut in range(len(blob)):
+            with pytest.raises(TornRecordError):
+                decode_record(blob[:cut])
+
+    def test_single_byte_corruption_never_silent(self):
+        rng = random.Random(7)
+        cases = [
+            ([b"one line"], None),
+            ([b"", b"two", b"drei \xc3\xbc"], [0.5, 1.5, 2.5]),
+            ([bytes(rng.randrange(256) for _ in range(80)).replace(b"\n", b" ")], None),
+        ]
+        for lines, stamps in cases:
+            blob = encode_record(lines, stamps)
+            for pos in range(len(blob)):
+                bad = bytearray(blob)
+                bad[pos] ^= 0xFF
+                try:
+                    out_lines, out_stamps, _ = decode_record(bytes(bad))
+                except WalRecordError:  # includes TornRecordError
+                    continue
+                assert out_lines == lines and out_stamps == stamps, (
+                    f"silent corruption at byte {pos}"
+                )
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(WalRecordError):
+            encode_record([])
+
+    def test_misaligned_timestamps_rejected(self):
+        with pytest.raises(WalRecordError):
+            encode_record([b"a", b"b"], [1.0])
+
+    def test_crc_protects_against_bit_rot(self):
+        blob = bytearray(encode_record([b"payload"]))
+        blob[-1] ^= 0x10  # flip a bit inside the compressed body
+        with pytest.raises(WalRecordError):
+            decode_record(bytes(blob))

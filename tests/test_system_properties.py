@@ -12,7 +12,11 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.baselines.grep import grep_lines
 from repro.core.query import IntersectionSet, Query, Term
-from repro.errors import IngestError, PageCorruptionError
+from repro.errors import (
+    IngestError,
+    PageCorruptionError,
+    ReadRetryExhaustedError,
+)
 from repro.system.mithrilog import MithriLogSystem
 
 TOKENS = [b"alpha", b"beta", b"gamma", b"delta", b"noise", b"RAS-99"]
@@ -98,8 +102,11 @@ class TestFaultInjection:
         system.ingest([b"alpha beta"] * 200)
         victim = system.index.data_pages[0]
         system.device.flash.corrupt_page(victim)
-        with pytest.raises(PageCorruptionError):
+        # in-place corruption is persistent: the device retries its
+        # bounded budget, then surfaces the failure (never silent data)
+        with pytest.raises(ReadRetryExhaustedError) as caught:
             system.query(Query.single("alpha"))
+        assert isinstance(caught.value.__cause__, PageCorruptionError)
 
     def test_corrupted_index_page_raises_on_lookup(self):
         system = MithriLogSystem()

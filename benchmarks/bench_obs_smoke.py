@@ -1,0 +1,66 @@
+"""Observability smoke benchmark: one traced ingest + query, end to end.
+
+This is the CI job's workload: it ingests a small corpus and runs one
+query with a span tracer attached, then asserts the telemetry contract —
+at least five distinct query-phase spans on the simulated clock, and a
+metrics registry carrying the storage/pipeline/index families. With
+``--metrics-out DIR`` the session also writes ``trace.json`` (Chrome
+trace-event format) next to the ``metrics.prom``/``metrics.json``
+artifacts the conftest hook emits.
+"""
+
+import pytest
+
+from repro.core.query import parse_query
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import SpanTracer, validate_chrome_trace
+from repro.system.mithrilog import MithriLogSystem
+
+#: The query phases the tracer must lay out on the simulated timeline.
+QUERY_PHASES = {
+    "index_lookup",
+    "flash_read",
+    "decompress",
+    "filter",
+    "host_transfer",
+}
+
+
+@pytest.fixture(scope="module")
+def traced_run(corpora):
+    system = MithriLogSystem(seed=7)
+    system.tracer = SpanTracer(clock=system.clock)
+    report = system.ingest(corpora["BGL2"][:2000])
+    outcome = system.query(parse_query("KERNEL AND INFO"))
+    return system, report, outcome
+
+
+def test_obs_smoke_spans(benchmark, traced_run, metrics_out_dir):
+    system, report, outcome = traced_run
+    trace = benchmark.pedantic(
+        system.tracer.to_chrome_trace, iterations=1, rounds=1
+    )
+    assert QUERY_PHASES <= system.tracer.names()
+    assert len(QUERY_PHASES | {"query"}) >= 5
+    assert validate_chrome_trace(trace) >= 5
+    # spans sit on the simulated timeline: the query starts where the
+    # ingest left the clock, not at zero
+    query_spans = [s for s in system.tracer.spans if s.name == "query"]
+    assert query_spans and query_spans[0].start_s == pytest.approx(
+        report.elapsed_s
+    )
+    if metrics_out_dir is not None:
+        path = system.tracer.write_chrome_trace(metrics_out_dir / "trace.json")
+        assert validate_chrome_trace(path) >= 5
+
+
+def test_obs_smoke_metrics(traced_run):
+    system, report, outcome = traced_run
+    registry = get_registry()
+    if registry is None:
+        pytest.skip("metrics disabled (--no-metrics)")
+    names = {m.name for m in registry.collect()}
+    for family in ("mithrilog_storage_", "mithrilog_pipeline_", "mithrilog_index_"):
+        assert any(n.startswith(family) for n in names), family
+    counter = registry.counter("mithrilog_ingest_lines_total", "")
+    assert counter.value() >= report.lines

@@ -8,6 +8,8 @@ sizes echo Table 1 while a full bench run stays in the minutes range.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.datasets.synthetic import generator_for
@@ -24,6 +26,61 @@ CORPUS_LINES = {
 }
 
 DATASETS = tuple(sorted(CORPUS_LINES))
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("observability")
+    group.addoption(
+        "--metrics-out",
+        default=None,
+        metavar="DIR",
+        help="write metrics.prom + metrics.json (and bench trace artifacts) "
+        "to DIR at session end",
+    )
+    group.addoption(
+        "--no-metrics",
+        action="store_true",
+        default=False,
+        help="disable the metrics registry (measures instrumentation cost)",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--no-metrics"):
+        from repro.obs.metrics import disable
+
+        disable()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    out = session.config.getoption("--metrics-out")
+    if out is None:
+        return
+    from repro.obs.expose import (
+        bootstrap_families,
+        render_prometheus,
+        write_snapshot,
+    )
+
+    # register the canonical zero-valued families first, so artifacts
+    # always carry every family a dashboard scrapes, even when the bench
+    # session exercised only part of the stack
+    bootstrap_families()
+    directory = Path(out)
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "metrics.prom").write_text(render_prometheus())
+    write_snapshot(directory / "metrics.json")
+
+
+@pytest.fixture(scope="session")
+def metrics_out_dir(request):
+    """Artifact directory from ``--metrics-out``, or None when unset."""
+    out = request.config.getoption("--metrics-out")
+    if out is None:
+        return None
+    directory = Path(out)
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory
 
 
 @pytest.fixture(scope="session")

@@ -22,6 +22,14 @@ from repro.core import Query, Term, TokenFilterEngine, parse_query
 from repro.core.tagger import TemplateTagger
 from repro.compression import LZAHCompressor
 from repro.index import InvertedIndex
+from repro.obs import (
+    MetricsRegistry,
+    SpanTracer,
+    get_logger,
+    get_registry,
+    render_prometheus,
+    use_registry,
+)
 from repro.params import PROTOTYPE, SystemParams
 from repro.system import (
     ComparisonHarness,
@@ -41,19 +49,25 @@ __all__ = [
     "FTTree",
     "InvertedIndex",
     "LZAHCompressor",
+    "MetricsRegistry",
     "MithriLogSystem",
     "PROTOTYPE",
     "Query",
     "QueryPlanner",
     "QueryScheduler",
+    "SpanTracer",
     "StreamingIngestor",
     "SystemParams",
     "TemplateTagger",
     "Term",
     "TokenFilterEngine",
     "build_workload",
+    "get_logger",
+    "get_registry",
     "load_store",
     "parse_query",
+    "render_prometheus",
     "save_store",
+    "use_registry",
     "__version__",
 ]

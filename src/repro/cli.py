@@ -6,16 +6,24 @@ The workflows a downstream user needs, without writing Python::
     python -m repro ingest   --log my.log --store ./store
     python -m repro query    --store ./store '"Failed" AND NOT "pbs_mom:"'
     python -m repro templates --log my.log --top 10
-    python -m repro stats    --store ./store
+    python -m repro stats    --store ./store --format prometheus
+    python -m repro trace    --store ./store 'KERNEL' --out trace.json
     python -m repro compress --log my.log
 
 Every command prints a short human-readable report; ``query`` also
 prints matching lines (bounded by ``--limit``).
+
+Output discipline: reports and diagnostics go through
+:mod:`repro.obs.log` (so ``--quiet`` / ``--verbose`` work uniformly),
+while a command's *payload* — matched lines, Prometheus text, JSON —
+is written to stdout directly and survives ``--quiet``, which keeps
+piping (``repro stats --format prometheus | promtool ...``) clean.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -25,8 +33,13 @@ from repro.datasets.loader import read_log_lines
 from repro.datasets.schema import DATASET_SPECS
 from repro.datasets.synthetic import generator_for
 from repro.errors import MithriLogError
+from repro.obs.expose import bootstrap_families, render_prometheus, snapshot
+from repro.obs.log import get_logger
+from repro.obs.tracing import SpanTracer, TraceError, validate_chrome_trace
 from repro.system.mithrilog import MithriLogSystem
 from repro.system.persistence import load_store, save_store
+
+log = get_logger("repro.cli")
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -36,7 +49,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         for line in generator.iter_lines(args.lines):
             handle.write(line + b"\n")
             count += 1
-    print(f"wrote {count:,} {args.dataset}-like lines to {args.out}")
+    log.info(f"wrote {count:,} {args.dataset}-like lines to {args.out}")
     return 0
 
 
@@ -47,18 +60,23 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     system = MithriLogSystem(seed=args.seed)
     timestamps = extract_epochs(lines) if args.timestamps else None
     if args.timestamps and timestamps is None:
-        print("warning: could not extract epochs; ingesting without time index")
+        log.warning("could not extract epochs; ingesting without time index")
     report = system.ingest(lines, timestamps=timestamps)
     if timestamps is not None:
         system.index.flush(timestamp=timestamps[-1])
-        print(f"time index: {timestamps[0]:.0f} .. {timestamps[-1]:.0f}")
+        log.info(f"time index: {timestamps[0]:.0f} .. {timestamps[-1]:.0f}")
     save_store(system, args.store)
-    print(
+    log.info(
         f"ingested {report.lines:,} lines ({report.original_bytes / 1e6:.2f} MB) "
         f"into {report.pages_written} pages at "
         f"{report.compression_ratio:.2f}x compression"
     )
-    print(f"store saved to {args.store}")
+    log.debug(
+        "ingest breakdown",
+        bottleneck=report.bottleneck,
+        **{k: f"{v:.6f}s" for k, v in report.breakdown.items()},
+    )
+    log.info(f"store saved to {args.store}")
     return 0
 
 
@@ -72,14 +90,14 @@ def _cmd_query(args: argparse.Namespace) -> int:
         from repro.system.planner import QueryPlanner
 
         plan = QueryPlanner(system).plan(query)
-        print(f"plan: {'index path' if plan.use_index else 'full scan'}")
-        print(f"  {plan.reason}")
-        print(
+        log.info(f"plan: {'index path' if plan.use_index else 'full scan'}")
+        log.info(f"  {plan.reason}")
+        log.info(
             f"  estimated candidates: {plan.estimated_candidate_pages}/"
             f"{plan.total_pages} pages "
             f"({100 * plan.estimated_selectivity:.0f}%)"
         )
-        print(
+        log.info(
             f"  estimated: index path {plan.estimated_index_path_s * 1e3:.2f} ms, "
             f"full scan {plan.estimated_scan_s * 1e3:.2f} ms"
         )
@@ -92,22 +110,27 @@ def _cmd_query(args: argparse.Namespace) -> int:
         newest_first=args.newest_first,
     )
     stats = outcome.stats
-    print(
+    log.info(
         f"{len(outcome.matched_lines):,} matching lines "
         f"({stats.candidate_pages}/{stats.total_pages} pages read, "
         f"{stats.elapsed_s * 1e3:.2f} ms simulated, "
         f"{outcome.effective_throughput(system.original_bytes) / 1e9:.1f} GB/s effective)"
     )
+    log.debug(
+        "query breakdown",
+        bottleneck=stats.bottleneck,
+        **{k: f"{v:.6f}s" for k, v in stats.breakdown.items()},
+    )
     if args.aggregate:
         from repro.analytics.aggregate import aggregate_matches
 
-        print(aggregate_matches(outcome.matched_lines).render())
+        log.info(aggregate_matches(outcome.matched_lines).render())
         return 0
     for line in outcome.matched_lines[: args.limit]:
         print(line.decode(errors="replace"))
     hidden = len(outcome.matched_lines) - args.limit
     if hidden > 0:
-        print(f"... {hidden:,} more (raise --limit to see them)")
+        log.info(f"... {hidden:,} more (raise --limit to see them)")
     return 0
 
 
@@ -123,10 +146,10 @@ def _cmd_templates(args: argparse.Namespace) -> int:
             max_doc_frequency=0.9,
         ),
     )
-    print(f"{len(tree.templates)} templates extracted from {len(lines):,} lines")
+    log.info(f"{len(tree.templates)} templates extracted from {len(lines):,} lines")
     for template in tree.templates[: args.top]:
-        print(f"  {template}")
-        print(f"    query: {tree.template_query(template)}")
+        log.info(f"  {template}")
+        log.info(f"    query: {tree.template_query(template)}")
     return 0
 
 
@@ -142,7 +165,7 @@ def _cmd_tag(args: argparse.Namespace) -> int:
     tagger = TemplateTagger.from_tree(tree)
     histogram = tagger.histogram(lines)
     tagged = sum(count for tid, count in histogram.items() if tid is not None)
-    print(
+    log.info(
         f"{len(tree.templates)} templates, {tagger.num_passes} accelerator "
         f"passes, {tagged}/{len(lines)} lines tagged"
     )
@@ -152,22 +175,48 @@ def _cmd_tag(args: argparse.Namespace) -> int:
         key=lambda item: -item[1],
     )
     for tid, count in ranked[: args.top]:
-        print(f"  {count:>7,}  {by_id[tid]}")
+        log.info(f"  {count:>7,}  {by_id[tid]}")
     unparsed = histogram.get(None, 0)
     if unparsed:
-        print(f"  {unparsed:>7,}  (unparsed)")
+        log.info(f"  {unparsed:>7,}  (unparsed)")
     return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    # pre-register the canonical metric families so a fresh process still
+    # exposes every family (storage, pipeline, index, WAL, faults) even
+    # where the loaded store has recorded nothing yet
+    bootstrap_families()
     system = load_store(args.store, seed=args.seed)
-    print(f"store: {args.store}")
-    print(f"  lines: {system.total_lines:,}")
-    print(f"  original size: {system.original_bytes / 1e6:.2f} MB")
-    print(f"  data pages: {system.index.total_data_pages}")
-    print(f"  flash pages total: {system.device.flash.pages_written}")
-    print(f"  index memory: {system.index.memory_footprint_bytes() / 1024:.0f} KiB")
-    print(f"  snapshots: {len(system.index.snapshots.snapshots)}")
+    if args.format == "prometheus":
+        sys.stdout.write(render_prometheus())
+        return 0
+    if args.format == "json":
+        print(json.dumps(snapshot(), indent=2, sort_keys=True))
+        return 0
+    log.info(f"store: {args.store}")
+    log.info(f"  lines: {system.total_lines:,}")
+    log.info(f"  original size: {system.original_bytes / 1e6:.2f} MB")
+    log.info(f"  data pages: {system.index.total_data_pages}")
+    log.info(f"  flash pages total: {system.device.flash.pages_written}")
+    log.info(f"  index memory: {system.index.memory_footprint_bytes() / 1024:.0f} KiB")
+    log.info(f"  snapshots: {len(system.index.snapshots.snapshots)}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    system = load_store(args.store, seed=args.seed)
+    system.tracer = SpanTracer(clock=system.clock)
+    query = parse_query(args.expression)
+    outcome = system.query(query, use_index=not args.no_index)
+    path = system.tracer.write_chrome_trace(args.out)
+    spans = validate_chrome_trace(path)
+    log.info(
+        f"wrote {spans} spans to {path} "
+        f"({len(outcome.matched_lines):,} matching lines, "
+        f"{outcome.stats.elapsed_s * 1e3:.2f} ms simulated)"
+    )
+    log.info("open it at https://ui.perfetto.dev or chrome://tracing")
     return 0
 
 
@@ -182,7 +231,7 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     )
 
     data = Path(args.log).read_bytes()
-    print(f"{args.log}: {len(data) / 1e6:.2f} MB")
+    log.info(f"{args.log}: {len(data) / 1e6:.2f} MB")
     for codec in (
         LZAHCompressor(),
         LZRW1Compressor(),
@@ -190,7 +239,7 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         SnappyLikeCompressor(),
         GzipCompressor(),
     ):
-        print(f"  {codec.name:<6} {compression_ratio(codec, data):6.2f}x")
+        log.info(f"  {codec.name:<6} {compression_ratio(codec, data):6.2f}x")
     return 0
 
 
@@ -201,6 +250,15 @@ def build_parser() -> argparse.ArgumentParser:
         description="MithriLog reproduction: near-storage log analytics",
     )
     parser.add_argument("--seed", type=int, default=0, help="deterministic seed")
+    volume = parser.add_mutually_exclusive_group()
+    volume.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress reports; only warnings, errors and payload output",
+    )
+    volume.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also print debug diagnostics (phase breakdowns)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("generate", help="generate a synthetic HPC4-like log file")
@@ -258,7 +316,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("stats", help="describe a store directory")
     p.add_argument("--store", required=True)
+    p.add_argument(
+        "--format", choices=("human", "prometheus", "json"), default="human",
+        help="human report, Prometheus exposition text, or a JSON snapshot",
+    )
     p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a query with span tracing, write Chrome trace JSON",
+    )
+    p.add_argument("--store", required=True)
+    p.add_argument("expression", help='e.g. \'"Failed" AND NOT "pbs_mom:"\'')
+    p.add_argument("--out", default="trace.json", help="trace file to write")
+    p.add_argument("--no-index", action="store_true", help="force a full scan")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("compress", help="Table 5 codec comparison on a log file")
     p.add_argument("--log", required=True)
@@ -271,13 +343,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.quiet:
+        log.quiet()
+    elif args.verbose:
+        log.verbose()
+    else:
+        log.set_level("info")  # reset: main() may be called repeatedly
     try:
         return args.func(args)
-    except MithriLogError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    except (MithriLogError, TraceError) as exc:
+        log.error(str(exc))
         return 1
     except FileNotFoundError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        log.error(str(exc))
         return 1
 
 

@@ -18,6 +18,7 @@ from repro.core.hashfilter import CompiledQuery, compile_queries
 from repro.core.pipeline import FilterPipeline
 from repro.core.query import Query
 from repro.errors import CapacityError, PlacementError, QueryError
+from repro.obs.metrics import get_registry
 from repro.params import CuckooParams, PipelineParams
 
 
@@ -69,6 +70,25 @@ class TokenFilterEngine:
         self._queries: tuple[Query, ...] = ()
         self._program: Optional[CompiledQuery] = None
         self._pipelines: list[FilterPipeline] = []
+        registry = get_registry()
+        if registry is not None:
+            self._m_compiles = registry.counter(
+                "mithrilog_pipeline_compiles_total",
+                "Query compilations by execution mode",
+                labelnames=("mode",),
+            )
+            self._m_lines_filtered = registry.counter(
+                "mithrilog_pipeline_lines_filtered_total",
+                "Lines evaluated by the filter engine",
+            )
+            self._m_lines_kept = registry.counter(
+                "mithrilog_pipeline_lines_kept_total",
+                "Lines that survived filtering",
+            )
+        else:
+            self._m_compiles = None
+            self._m_lines_filtered = None
+            self._m_lines_kept = None
 
     # -- compilation -------------------------------------------------------
 
@@ -91,11 +111,15 @@ class TokenFilterEngine:
                 raise
             self._program = None
             self._pipelines = []
+            if self._m_compiles is not None:
+                self._m_compiles.inc(mode="software")
             return False
         self._pipelines = [
             FilterPipeline(self._program, self.pipeline_params)
             for _ in range(self.num_pipelines)
         ]
+        if self._m_compiles is not None:
+            self._m_compiles.inc(mode="hardware")
         return True
 
     @property
@@ -130,19 +154,26 @@ class TokenFilterEngine:
                 tuple(q.matches_line(line) for q in self._queries)
                 for line in lines
             ]
-            return EngineResult(
+            result = EngineResult(
                 verdicts=verdicts, offloaded=False, num_queries=len(self._queries)
             )
-        block = -(-len(lines) // self.num_pipelines) if lines else 0
-        verdicts = []
-        for p_index, pipeline in enumerate(self._pipelines):
-            chunk = lines[p_index * block : (p_index + 1) * block]
-            if not chunk:
-                break
-            verdicts.extend(pipeline.process_lines(chunk).verdicts)
-        return EngineResult(
-            verdicts=verdicts, offloaded=True, num_queries=len(self._queries)
-        )
+        else:
+            block = -(-len(lines) // self.num_pipelines) if lines else 0
+            verdicts = []
+            for p_index, pipeline in enumerate(self._pipelines):
+                chunk = lines[p_index * block : (p_index + 1) * block]
+                if not chunk:
+                    break
+                verdicts.extend(pipeline.process_lines(chunk).verdicts)
+            result = EngineResult(
+                verdicts=verdicts, offloaded=True, num_queries=len(self._queries)
+            )
+        if self._m_lines_filtered is not None and result.lines:
+            self._m_lines_filtered.inc(result.lines)
+            kept = sum(1 for v in result.verdicts if any(v))
+            if kept:
+                self._m_lines_kept.inc(kept)
+        return result
 
     def keep_line(self, line: bytes) -> bool:
         """Single-line predicate (any query keeps it).

@@ -13,6 +13,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.obs.metrics import get_registry
+
+#: Which component each fault kind strikes (the metrics label).
+FAULT_COMPONENTS = {
+    "read_error": "flash",
+    "bit_flip": "flash",
+    "bad_block": "flash",
+    "torn_write": "wal",
+    "shard_down": "cluster",
+}
+
 
 @dataclass(frozen=True)
 class FaultEvent:
@@ -59,17 +70,44 @@ class FaultLog:
     events: list[FaultEvent] = field(default_factory=list)
     recovery: RecoveryStats = field(default_factory=RecoveryStats)
 
+    def __post_init__(self) -> None:
+        # Fault events double as metrics: one counter labeled by kind and
+        # component, bound from the registry active at construction.
+        registry = get_registry()
+        self._m_faults = (
+            registry.counter(
+                "mithrilog_faults_injected_total",
+                "Injected faults by kind and component",
+                labelnames=("kind", "component"),
+            )
+            if registry is not None
+            else None
+        )
+
     def record(
         self,
         kind: str,
         op_index: int,
         address: Optional[int] = None,
         detail: str = "",
+        component: Optional[str] = None,
     ) -> None:
-        """Append one fault event."""
+        """Append one fault event (and count it in the metrics registry).
+
+        ``component`` defaults to the canonical owner of the fault kind
+        (flash for read faults, wal for torn writes, cluster for shard
+        loss); injectors at unusual hook points can override it.
+        """
         self.events.append(
             FaultEvent(kind=kind, op_index=op_index, address=address, detail=detail)
         )
+        if self._m_faults is not None:
+            self._m_faults.inc(
+                kind=kind,
+                component=component
+                if component is not None
+                else FAULT_COMPONENTS.get(kind, "unknown"),
+            )
 
     def count(self, kind: Optional[str] = None) -> int:
         """Number of injected faults, optionally of one kind."""

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import LogIndexError
+from repro.obs.metrics import get_registry
 from repro.sim.clock import SimClock
 from repro.storage.flash import FlashArray
 from repro.storage.page import Page
@@ -208,6 +209,15 @@ class TreeListStore:
     def __init__(self, flash: FlashArray, page_bytes: int) -> None:
         self.leaves = NodePool(flash, _LEAF_STRUCT.size, page_bytes)
         self.roots = NodePool(flash, _ROOT_NODE_BYTES, page_bytes)
+        registry = get_registry()
+        self._m_node_visits = (
+            registry.counter(
+                "mithrilog_index_node_visits_total",
+                "Tree nodes visited during index traversal",
+            )
+            if registry is not None
+            else None
+        )
 
     def write_leaf(self, addresses: list[int]) -> int:
         return self.leaves.append(LeafNode(addresses=tuple(addresses)).pack())
@@ -236,13 +246,17 @@ class TreeListStore:
         addresses: list[int] = []
         root_id = head_root
         hops = 0
+        leaves_visited = 0
         while root_id != NIL:
             hops += 1
             if hops > self.roots.nodes_written + 1:
                 raise LogIndexError("root linked list contains a cycle")
             root = RootNode.unpack(self.roots.read(root_id, clock=clock))
             leaf_blobs = self.leaves.read_many(list(root.leaf_ids), clock=clock)
+            leaves_visited += len(leaf_blobs)
             for blob in leaf_blobs:
                 addresses.extend(LeafNode.unpack(blob).addresses)
             root_id = root.next_root
+        if self._m_node_visits is not None and (hops or leaves_visited):
+            self._m_node_visits.inc(hops + leaves_visited)
         return WalkResult(addresses=addresses, root_visits=hops)

@@ -1,0 +1,64 @@
+"""Observability: metrics, sim-clock tracing, exposition, logging.
+
+The telemetry layer the ROADMAP's "production-scale system" needs before
+any further performance work can be measured honestly. Four modules:
+
+- :mod:`repro.obs.metrics` — labeled, thread-safe counters / gauges /
+  histograms behind a default-on but nullable process-wide registry.
+  Components bind metric handles at construction; with metrics disabled
+  the hot path is a single ``is None`` test.
+- :mod:`repro.obs.tracing` — spans timestamped on the simulation clock
+  (and wall time), exported as Chrome trace-event JSON so a query's
+  index-lookup → flash-read → decompress → filter → host-transfer
+  pipeline opens directly in Perfetto.
+- :mod:`repro.obs.expose` — Prometheus text format and JSON snapshot
+  dumps, plus the canonical metric-family bootstrap.
+- :mod:`repro.obs.log` — the structured leveled logger the CLI uses
+  instead of bare ``print``.
+
+See ``docs/OBSERVABILITY.md`` for the full tour.
+"""
+
+from repro.obs.expose import (
+    bootstrap_families,
+    render_prometheus,
+    snapshot,
+    write_snapshot,
+)
+from repro.obs.log import Logger, get_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    disable,
+    enable,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.tracing import Span, SpanTracer, TraceError, validate_chrome_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Logger",
+    "MetricError",
+    "MetricsRegistry",
+    "Span",
+    "SpanTracer",
+    "TraceError",
+    "bootstrap_families",
+    "disable",
+    "enable",
+    "get_logger",
+    "get_registry",
+    "render_prometheus",
+    "set_registry",
+    "snapshot",
+    "use_registry",
+    "validate_chrome_trace",
+    "write_snapshot",
+]

@@ -1,0 +1,88 @@
+"""Artifact validator: ``python -m repro.obs.check <files...>``.
+
+The CI observability job runs a smoke benchmark that writes a Prometheus
+snapshot and a Chrome trace, then runs this module over the artifacts.
+It exits non-zero when
+
+- a trace file is missing, malformed, or contains no duration events,
+- a ``.prom`` snapshot is missing any of the canonical metric families
+  (storage, pipeline, index, WAL, faults),
+- a ``.json`` metrics snapshot is not a valid snapshot object.
+
+Keeping the validator in the library (rather than a shell one-liner in
+the workflow) makes the failure mode testable.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.obs.log import get_logger
+from repro.obs.tracing import TraceError, validate_chrome_trace
+
+#: Family prefixes a complete Prometheus snapshot must mention.
+REQUIRED_FAMILY_PREFIXES = (
+    "mithrilog_storage_",
+    "mithrilog_pipeline_",
+    "mithrilog_index_",
+    "mithrilog_wal_",
+    "mithrilog_faults_",
+)
+
+LOG = get_logger("repro.obs.check")
+
+
+def check_prometheus_text(text: str) -> list[str]:
+    """Validate snapshot text; returns the list of missing family prefixes."""
+    return [p for p in REQUIRED_FAMILY_PREFIXES if p not in text]
+
+
+def check_file(path: Path) -> Optional[str]:
+    """Validate one artifact; returns an error message or ``None`` if ok."""
+    if not path.exists():
+        return f"{path}: missing"
+    if path.suffix == ".prom":
+        missing = check_prometheus_text(path.read_text())
+        if missing:
+            return f"{path}: missing metric families {missing}"
+        return None
+    if path.suffix == ".json":
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            return f"{path}: invalid JSON ({exc})"
+        if "traceEvents" in payload:
+            try:
+                events = validate_chrome_trace(payload)
+            except TraceError as exc:
+                return f"{path}: {exc}"
+            LOG.debug("trace ok", path=str(path), duration_events=events)
+            return None
+        if "metrics" not in payload:
+            return f"{path}: neither a Chrome trace nor a metrics snapshot"
+        return None
+    return f"{path}: unknown artifact type (expected .prom or .json)"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Validate each artifact; exit 0 when all pass, 1 on failures, 2 on misuse."""
+    paths = [Path(p) for p in (argv if argv is not None else sys.argv[1:])]
+    if not paths:
+        LOG.error("usage: python -m repro.obs.check <artifact files...>")
+        return 2
+    failures = 0
+    for path in paths:
+        problem = check_file(path)
+        if problem is None:
+            LOG.info(f"ok: {path}")
+        else:
+            LOG.error(problem)
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

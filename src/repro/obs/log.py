@@ -1,0 +1,134 @@
+"""A small structured logger for the CLI and library layers.
+
+The rule this module enforces: **library code never calls ``print``**.
+Anything user-facing goes through a :class:`Logger`, which
+
+- supports quiet/normal/verbose/debug levels (the CLI's ``--quiet`` /
+  ``--verbose`` flags map straight onto them),
+- appends structured ``key=value`` fields to the message so output stays
+  grep-able without a JSON dependency,
+- routes informational output to stdout and diagnostics (warning,
+  error) to stderr, resolving the streams *at call time* so test
+  harnesses that swap ``sys.stdout`` see everything.
+
+``stdlib logging`` is deliberately not used: its global configuration
+fights with embedding applications, and the CLI's reports are program
+*output*, not diagnostics — a logger level is just the volume knob.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Any, Optional, TextIO
+
+__all__ = ["Logger", "get_logger", "set_level", "LEVELS"]
+
+#: Symbolic level names in increasing severity.
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40, "quiet": 100}
+
+
+def _coerce_level(level: Any) -> int:
+    if isinstance(level, int):
+        return level
+    try:
+        return LEVELS[str(level).lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {sorted(LEVELS)}"
+        ) from None
+
+
+def format_fields(fields: dict[str, Any]) -> str:
+    """Render structured fields as stable ``key=value`` text."""
+    parts = []
+    for key in fields:
+        value = fields[key]
+        if isinstance(value, float):
+            value = f"{value:g}"
+        text = str(value)
+        if " " in text:
+            text = f'"{text}"'
+        parts.append(f"{key}={text}")
+    return " ".join(parts)
+
+
+class Logger:
+    """Leveled, structured, stream-routed logger."""
+
+    def __init__(self, name: str = "repro", level: Any = "info") -> None:
+        self.name = name
+        self._level = _coerce_level(level)
+        self._lock = threading.Lock()
+
+    # -- configuration ---------------------------------------------------
+
+    @property
+    def level(self) -> int:
+        return self._level
+
+    def set_level(self, level: Any) -> None:
+        self._level = _coerce_level(level)
+
+    def quiet(self) -> None:
+        """Suppress info and below (the CLI's ``--quiet``)."""
+        self.set_level("warning")
+
+    def verbose(self) -> None:
+        """Show debug output (the CLI's ``--verbose``)."""
+        self.set_level("debug")
+
+    def is_enabled(self, level: Any) -> bool:
+        return _coerce_level(level) >= self._level
+
+    # -- emission --------------------------------------------------------
+
+    def _emit(
+        self,
+        level: int,
+        message: str,
+        fields: dict[str, Any],
+        stream: TextIO,
+        prefix: str = "",
+    ) -> None:
+        if level < self._level:
+            return
+        suffix = format_fields(fields)
+        line = prefix + message + ((" " + suffix) if suffix else "")
+        with self._lock:
+            stream.write(line + "\n")
+
+    def debug(self, message: str, **fields: Any) -> None:
+        self._emit(LEVELS["debug"], message, fields, sys.stderr, "debug: ")
+
+    def info(self, message: str, **fields: Any) -> None:
+        """User-facing program output (stdout)."""
+        self._emit(LEVELS["info"], message, fields, sys.stdout)
+
+    def warning(self, message: str, **fields: Any) -> None:
+        self._emit(LEVELS["warning"], message, fields, sys.stderr, "warning: ")
+
+    def error(self, message: str, **fields: Any) -> None:
+        self._emit(LEVELS["error"], message, fields, sys.stderr, "error: ")
+
+
+_loggers: dict[str, Logger] = {}
+_loggers_lock = threading.Lock()
+
+
+def get_logger(name: str = "repro") -> Logger:
+    """Process-wide named logger (one instance per name)."""
+    with _loggers_lock:
+        logger = _loggers.get(name)
+        if logger is None:
+            logger = Logger(name)
+            _loggers[name] = logger
+        return logger
+
+
+def set_level(level: Any, name: Optional[str] = None) -> None:
+    """Set one logger's level, or every registered logger's when no name."""
+    with _loggers_lock:
+        targets = [_loggers[name]] if name is not None else list(_loggers.values())
+    for logger in targets:
+        logger.set_level(level)

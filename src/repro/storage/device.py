@@ -27,6 +27,7 @@ from repro.errors import (
     StorageError,
 )
 from repro.faults.policies import DEFAULT_RETRY_POLICY, RetryPolicy
+from repro.obs.metrics import get_registry
 from repro.params import StorageParams
 from repro.sim.clock import SimClock
 from repro.storage.flash import FlashArray
@@ -97,6 +98,25 @@ class MithriLogDevice:
         self.retry_policy = (
             retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
         )
+        registry = get_registry()
+        if registry is not None:
+            self._m_reads = registry.counter(
+                "mithrilog_storage_device_reads_total",
+                "Device read requests by mode",
+                labelnames=("mode",),
+            )
+            self._m_retries = registry.counter(
+                "mithrilog_storage_read_retries_total",
+                "Transient page faults absorbed by device retries",
+            )
+            self._m_bytes_to_host = registry.counter(
+                "mithrilog_storage_bytes_to_host_total",
+                "Bytes DMAed across the host link",
+            )
+        else:
+            self._m_reads = None
+            self._m_retries = None
+            self._m_bytes_to_host = None
 
     # -- configuration -------------------------------------------------
 
@@ -249,6 +269,11 @@ class MithriLogDevice:
         if clock is not None:
             self.host_link.send_to_host(len(data), clock=clock)
         elapsed = (clock.now - start) if clock is not None else 0.0
+        if self._m_reads is not None:
+            self._m_reads.inc(mode=mode.value)
+            self._m_bytes_to_host.inc(len(data))
+            if read_retries:
+                self._m_retries.inc(read_retries)
         return DeviceReadResult(
             data=data,
             pages_read=pages_read,

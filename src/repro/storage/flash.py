@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.errors import PageBoundsError, StorageError, UnwrittenPageError
+from repro.obs.metrics import get_registry
 from repro.params import StorageParams
 from repro.sim.bandwidth import LinkModel
 from repro.sim.clock import SimClock
@@ -30,6 +31,9 @@ class FlashArray:
     (``fault_injector``); it is consulted on every page read and may raise
     a transient/persistent storage error or hand back a bit-flipped copy.
     When no injector is attached the read path pays one ``is None`` test.
+    Metric handles are bound the same way: from the registry active at
+    construction, or ``None`` (one null check per operation) if metrics
+    are disabled.
     """
 
     def __init__(
@@ -45,6 +49,25 @@ class FlashArray:
             bandwidth=self.params.internal_bandwidth,
             latency_s=self.params.latency_s,
         )
+        registry = get_registry()
+        if registry is not None:
+            self._m_pages_read = registry.counter(
+                "mithrilog_storage_pages_read_total", "Flash pages read"
+            )
+            self._m_bytes_read = registry.counter(
+                "mithrilog_storage_bytes_read_total", "Bytes read from flash"
+            )
+            self._m_pages_written = registry.counter(
+                "mithrilog_storage_pages_written_total", "Flash pages written"
+            )
+            self._m_bytes_written = registry.counter(
+                "mithrilog_storage_bytes_written_total", "Bytes written to flash"
+            )
+        else:
+            self._m_pages_read = None
+            self._m_bytes_read = None
+            self._m_pages_written = None
+            self._m_bytes_written = None
 
     # -- capacity ----------------------------------------------------------
 
@@ -75,6 +98,9 @@ class FlashArray:
         self._pages[address] = page
         if address >= self._next_free:
             self._next_free = address + 1
+        if self._m_pages_written is not None:
+            self._m_pages_written.inc()
+            self._m_bytes_written.inc(len(page))
 
     def append_page(self, page: Page) -> int:
         """Append a page at the next free address and return that address."""
@@ -82,6 +108,9 @@ class FlashArray:
         self._check_address(address)
         self._pages[address] = page
         self._next_free = address + 1
+        if self._m_pages_written is not None:
+            self._m_pages_written.inc()
+            self._m_bytes_written.inc(len(page))
         return address
 
     def read_page(self, address: int, clock: Optional[SimClock] = None) -> Page:
@@ -98,6 +127,9 @@ class FlashArray:
         if clock is not None:
             self.internal_link.transfer_on(clock, len(page))
         page.verify()
+        if self._m_pages_read is not None:
+            self._m_pages_read.inc()
+            self._m_bytes_read.inc(len(page))
         return page
 
     def read_pages(
@@ -132,6 +164,9 @@ class FlashArray:
                 prev = addr
         if clock is not None and run_bytes:
             self.internal_link.transfer_on(clock, run_bytes)
+        if self._m_pages_read is not None and pages:
+            self._m_pages_read.inc(len(pages))
+            self._m_bytes_read.inc(sum(len(p) for p in pages))
         return pages
 
     def corrupt_page(self, address: int, flip_at: int = 0) -> None:

@@ -25,7 +25,10 @@ from repro.core.query import Query
 from repro.errors import IngestError, QueryError
 from repro.hw.perf import PipelineCycleModel, measure_tokenized_stats
 from repro.index.inverted import InvertedIndex
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import SpanTracer
 from repro.params import PROTOTYPE, SystemParams
+from repro.sim.clock import SimClock
 from repro.storage.device import MithriLogDevice, ReadMode
 from repro.storage.page import Page
 from repro.core.tokenizer import split_tokens
@@ -84,12 +87,23 @@ class IngestReport:
         return self.original_bytes / self.elapsed_s
 
     @property
-    def bottleneck(self) -> str:
-        stages = {
+    def breakdown(self) -> dict[str, float]:
+        """Per-phase times keyed by the actual phase names.
+
+        The keys mirror the ``*_time_s`` fields — ``storage`` (flash
+        writes), ``compress`` (accelerator compression), ``host``
+        (tokenization + index inserts). Host time used to be mislabelled
+        ``"index"`` here, which made renderers disagree with the fields.
+        """
+        return {
             "storage": self.storage_time_s,
-            "compression": self.compress_time_s,
-            "index": self.host_time_s,
+            "compress": self.compress_time_s,
+            "host": self.host_time_s,
         }
+
+    @property
+    def bottleneck(self) -> str:
+        stages = self.breakdown
         return max(stages, key=stages.get)
 
 
@@ -112,10 +126,41 @@ class QueryStats:
     scan_time_s: float = 0.0
     offloaded: bool = True
     read_retries: int = 0  #: transient page faults absorbed by device retries
+    # per-stage times inside the scan (the pipelined stages overlap;
+    # ``scan_time_s`` is their max, not their sum)
+    flash_time_s: float = 0.0
+    decompress_time_s: float = 0.0
+    filter_time_s: float = 0.0
+    host_time_s: float = 0.0
 
     @property
     def elapsed_s(self) -> float:
         return self.index_time_s + self.scan_time_s
+
+    @property
+    def breakdown(self) -> dict[str, float]:
+        """Per-phase times keyed by the actual phase names.
+
+        ``index`` is serial (latency-bound traversal before the scan);
+        ``flash``/``decompress``/``filter``/``host`` overlap in the
+        streaming pipeline, so ``elapsed_s == index + max(the rest)``.
+        These keys match the span names the tracer emits.
+        """
+        return {
+            "index": self.index_time_s,
+            "flash": self.flash_time_s,
+            "decompress": self.decompress_time_s,
+            "filter": self.filter_time_s,
+            "host": self.host_time_s,
+        }
+
+    @property
+    def bottleneck(self) -> str:
+        """The scan stage that paces the streaming pipeline."""
+        stages = {
+            k: v for k, v in self.breakdown.items() if k != "index"
+        }
+        return max(stages, key=stages.get)
 
     @property
     def index_reduction(self) -> float:
@@ -149,6 +194,7 @@ class MithriLogSystem:
         seed: int = 0,
         device: Optional[MithriLogDevice] = None,
         index=None,
+        tracer: Optional[SpanTracer] = None,
     ) -> None:
         self.params = params if params is not None else PROTOTYPE
         self.device = (
@@ -176,6 +222,39 @@ class MithriLogSystem:
         self.original_bytes = 0
         self.total_lines = 0
         self._accelerator_rate: Optional[float] = None
+        self._pipeline_rate: Optional[float] = None
+        self._decompressor_rate: Optional[float] = None
+        #: Simulated system timeline: every ingest/query advances it, so
+        #: spans from successive operations line up on one trace.
+        self.clock = SimClock()
+        #: Optional span tracer; assign one at any time to start tracing.
+        self.tracer = tracer
+        registry = get_registry()
+        if registry is not None:
+            self._m_queries = registry.counter(
+                "mithrilog_query_total",
+                "End-to-end queries",
+                labelnames=("path",),
+            )
+            self._m_query_seconds = registry.histogram(
+                "mithrilog_query_seconds", "Simulated end-to-end query latency"
+            )
+            self._m_ingest_lines = registry.counter(
+                "mithrilog_ingest_lines_total", "Log lines ingested"
+            )
+            self._m_ingest_bytes = registry.counter(
+                "mithrilog_ingest_bytes_total", "Original bytes ingested"
+            )
+            self._m_ingest_compressed = registry.counter(
+                "mithrilog_ingest_compressed_bytes_total",
+                "Compressed bytes stored",
+            )
+        else:
+            self._m_queries = None
+            self._m_query_seconds = None
+            self._m_ingest_lines = None
+            self._m_ingest_bytes = None
+            self._m_ingest_compressed = None
 
     # ------------------------------------------------------------------
     # Ingest
@@ -210,7 +289,7 @@ class MithriLogSystem:
         self._measure_accelerator_rate(lines)
         storage = self.params.storage
         cost = IngestCostModel()
-        return IngestReport(
+        report = IngestReport(
             lines=len(lines),
             original_bytes=original,
             compressed_bytes=compressed_total,
@@ -223,6 +302,30 @@ class MithriLogSystem:
             / (self.params.num_pipelines * self.params.pipeline.wire_speed_bytes_per_sec),
             host_time_s=cost.host_seconds(len(lines), postings),
         )
+        if self._m_ingest_lines is not None:
+            self._m_ingest_lines.inc(report.lines)
+            self._m_ingest_bytes.inc(report.original_bytes)
+            self._m_ingest_compressed.inc(report.compressed_bytes)
+        if self.tracer is not None:
+            t0 = self.clock.now
+            self.tracer.record(
+                "ingest", t0, report.elapsed_s, category="ingest", track="ingest",
+                lines=report.lines, pages=report.pages_written,
+            )
+            self.tracer.record(
+                "compress", t0, report.compress_time_s, category="ingest",
+                track="compress", bytes=report.original_bytes,
+            )
+            self.tracer.record(
+                "storage_write", t0, report.storage_time_s, category="ingest",
+                track="flash", bytes=report.compressed_bytes,
+            )
+            self.tracer.record(
+                "index_build", t0, report.host_time_s, category="ingest",
+                track="host", postings=report.postings_inserted,
+            )
+        self.clock.advance(report.elapsed_s)
+        return report
 
     def _pack_pages(
         self, lines: Sequence[bytes]
@@ -272,7 +375,16 @@ class MithriLogSystem:
         decomp = self.params.num_pipelines * (
             self.params.lzah.word_bytes * self.params.pipeline.clock_hz
         )
+        self._pipeline_rate = pipelines
+        self._decompressor_rate = decomp
         self._accelerator_rate = min(pipelines, decomp)
+        if get_registry() is not None:
+            # publishes the Figure 13 gauges (useful-bits ratio, padding
+            # amplification) as a side effect; skipped when metrics are
+            # off so ingest pays nothing extra
+            measure_tokenized_stats(
+                sample, datapath_bytes=self.params.pipeline.datapath_bytes
+            )
 
     @property
     def accelerator_rate(self) -> float:
@@ -339,10 +451,16 @@ class MithriLogSystem:
         stats.lines_seen = read.lines_seen
         stats.lines_kept = read.lines_kept
         stats.read_retries = read.read_retries
-        stats.scan_time_s = self._scan_time(read, candidates)
+        self._fill_scan_times(stats, read)
 
         matched = read.data.splitlines()
         per_query = self._per_query_counts(matched, len(queries))
+        if self._m_queries is not None:
+            self._m_queries.inc(path="scan" if stats.index_full_scan else "index")
+            self._m_query_seconds.observe(stats.elapsed_s)
+        if self.tracer is not None:
+            self._trace_query(stats, len(matched))
+        self.clock.advance(stats.elapsed_s)
         return QueryOutcome(
             matched_lines=matched, per_query_counts=per_query, stats=stats
         )
@@ -354,21 +472,73 @@ class MithriLogSystem:
             lookup_stats, self.params.storage.latency_s
         )
 
-    def _scan_time(self, read, candidates: Sequence[int]) -> float:
+    def _fill_scan_times(self, stats: QueryStats, read) -> None:
         """Streaming pipeline: bottleneck stage sets the pace (Figure 14).
 
         Candidate page reads are *independent*, so a flash array with
         queued requests streams them at full internal bandwidth after one
         pipeline-fill latency; only the index walk (pointer chasing) pays
         latency per hop, and that is charged in :meth:`_index_time`.
+
+        The accelerator time splits into decompressor and filter stages;
+        since ``accelerator_rate == min(pipeline, decompressor)``, the
+        identity ``bytes/min(p,d) == max(bytes/p, bytes/d)`` keeps
+        ``scan_time_s`` equal to the old three-way max. Stores loaded
+        from disk only carry the combined rate; both stages then charge
+        it, which again leaves the max unchanged.
         """
         storage = self.params.storage
-        flash_time = (
+        stats.flash_time_s = (
             storage.latency_s + read.bytes_from_flash / storage.internal_bandwidth
         )
-        accel_time = read.bytes_decompressed / self.accelerator_rate
-        host_time = read.bytes_to_host / storage.external_bandwidth
-        return max(flash_time, accel_time, host_time)
+        decomp_rate = self._decompressor_rate or self.accelerator_rate
+        filter_rate = self._pipeline_rate or self.accelerator_rate
+        stats.decompress_time_s = read.bytes_decompressed / decomp_rate
+        stats.filter_time_s = read.bytes_decompressed / filter_rate
+        stats.host_time_s = read.bytes_to_host / storage.external_bandwidth
+        stats.scan_time_s = max(
+            stats.flash_time_s,
+            stats.decompress_time_s,
+            stats.filter_time_s,
+            stats.host_time_s,
+        )
+
+    def _trace_query(self, stats: QueryStats, matches: int) -> None:
+        """Record the query's phase spans on the simulated timeline.
+
+        The index traversal is serial; the four scan stages stream
+        concurrently, so their spans share a start time and live on
+        separate tracks — exactly how the device pipelines them.
+        """
+        t0 = self.clock.now
+        self.tracer.record(
+            "query", t0, stats.elapsed_s, category="query", track="query",
+            pages=stats.pages_read, matches=matches,
+        )
+        self.tracer.record(
+            "index_lookup", t0, stats.index_time_s, category="query",
+            track="index", root_visits=stats.index_root_visits,
+            full_scan=stats.index_full_scan,
+        )
+        t1 = t0 + stats.index_time_s
+        self.tracer.record(
+            "flash_read", t1, stats.flash_time_s, category="query",
+            track="flash", pages=stats.pages_read,
+            bytes=stats.bytes_from_flash,
+        )
+        self.tracer.record(
+            "decompress", t1, stats.decompress_time_s, category="query",
+            track="decompress", bytes=stats.bytes_decompressed,
+        )
+        self.tracer.record(
+            "filter", t1, stats.filter_time_s, category="query",
+            track="filter", lines_seen=stats.lines_seen,
+            lines_kept=stats.lines_kept,
+        )
+        self.tracer.record(
+            "host_transfer", t1, stats.host_time_s, category="query",
+            track="host", bytes=stats.bytes_to_host,
+        )
 
     def _per_query_counts(
         self, matched: list[bytes], num_queries: int

@@ -76,6 +76,8 @@ def save_store(system: MithriLogSystem, directory: Union[str, Path]) -> None:
         "original_bytes": system.original_bytes,
         "total_lines": system.total_lines,
         "accelerator_rate": system._accelerator_rate,
+        "pipeline_rate": system._pipeline_rate,
+        "decompressor_rate": system._decompressor_rate,
         "index": {
             "data_pages": list(system.index.data_pages),
             "table": system.index.table.to_state(),
@@ -129,4 +131,9 @@ def load_store(directory: Union[str, Path], seed: int = 0) -> MithriLogSystem:
     system.total_lines = int(metadata["total_lines"])
     rate = metadata["accelerator_rate"]
     system._accelerator_rate = None if rate is None else float(rate)
+    # per-stage rates were added after version 1 stores shipped; older
+    # stores fall back to the combined accelerator rate at query time
+    for attr in ("pipeline_rate", "decompressor_rate"):
+        value = metadata.get(attr)
+        setattr(system, f"_{attr}", None if value is None else float(value))
     return system

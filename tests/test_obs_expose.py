@@ -1,0 +1,111 @@
+"""Tests for Prometheus text exposition and JSON snapshots."""
+
+import json
+
+import pytest
+
+from repro.obs.expose import (
+    bootstrap_families,
+    render_prometheus,
+    snapshot,
+    write_snapshot,
+)
+from repro.obs.metrics import MetricsRegistry, use_registry
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestPrometheusText:
+    def test_counter_with_help_and_type(self, registry):
+        registry.counter("demo_total", "a demo counter").inc(3)
+        text = render_prometheus(registry)
+        assert "# HELP demo_total a demo counter" in text
+        assert "# TYPE demo_total counter" in text
+        assert "demo_total 3" in text
+
+    def test_labels_rendered(self, registry):
+        c = registry.counter("reads_total", labelnames=("mode",))
+        c.inc(2, mode="filter")
+        assert 'reads_total{mode="filter"} 2' in render_prometheus(registry)
+
+    def test_untouched_metric_renders_zero(self, registry):
+        registry.counter("quiet_total", "never incremented")
+        assert "quiet_total 0" in render_prometheus(registry)
+
+    def test_histogram_series(self, registry):
+        h = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        text = render_prometheus(registry)
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "lat_seconds_count 2" in text
+        assert "lat_seconds_sum 0.55" in text
+
+    def test_disabled_registry(self):
+        with use_registry(None):
+            assert render_prometheus() == "# metrics disabled\n"
+
+    def test_uses_active_registry_by_default(self, registry):
+        registry.counter("active_total").inc()
+        with use_registry(registry):
+            assert "active_total 1" in render_prometheus()
+
+
+class TestSnapshot:
+    def test_structure(self, registry):
+        registry.counter("c_total", "help").inc(2)
+        registry.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+        snap = snapshot(registry)
+        assert snap["metrics"]["c_total"]["type"] == "counter"
+        assert snap["metrics"]["c_total"]["samples"] == [
+            {"labels": {}, "value": 2.0}
+        ]
+        entry = snap["metrics"]["h_seconds"]
+        assert entry["buckets"] == [1.0, "inf"]
+        assert entry["series"][0]["count"] == 1
+        # must be JSON-serialisable as-is (inf replaced)
+        json.dumps(snap)
+
+    def test_disabled(self):
+        with use_registry(None):
+            assert snapshot() == {"metrics": {}, "disabled": True}
+
+    def test_write_snapshot(self, registry, tmp_path):
+        registry.counter("c_total").inc()
+        path = write_snapshot(tmp_path / "deep" / "m.json", registry)
+        loaded = json.loads(path.read_text())
+        assert loaded["metrics"]["c_total"]["samples"][0]["value"] == 1.0
+
+
+class TestBootstrapFamilies:
+    def test_all_canonical_families_present(self, registry):
+        bootstrap_families(registry)
+        text = render_prometheus(registry)
+        for family in (
+            "mithrilog_storage_",
+            "mithrilog_pipeline_",
+            "mithrilog_index_",
+            "mithrilog_wal_",
+            "mithrilog_faults_",
+            "mithrilog_query_",
+        ):
+            assert family in text, family
+
+    def test_idempotent_and_compatible_with_components(self, registry):
+        # bootstrapping must agree with the schemas components register,
+        # in either order
+        from repro.storage.flash import FlashArray
+
+        with use_registry(registry):
+            bootstrap_families(registry)
+            FlashArray()
+            bootstrap_families(registry)
+
+    def test_noop_when_disabled(self):
+        with use_registry(None):
+            bootstrap_families()  # must not raise

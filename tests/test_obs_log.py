@@ -1,0 +1,85 @@
+"""Tests for the structured CLI/library logger."""
+
+import pytest
+
+from repro.obs.log import LEVELS, Logger, format_fields, get_logger, set_level
+
+
+class TestFormatFields:
+    def test_key_value_rendering(self):
+        assert format_fields({"a": 1, "b": "x"}) == "a=1 b=x"
+
+    def test_floats_compact(self):
+        assert format_fields({"r": 0.25}) == "r=0.25"
+
+    def test_spaces_quoted(self):
+        assert format_fields({"msg": "two words"}) == 'msg="two words"'
+
+    def test_empty(self):
+        assert format_fields({}) == ""
+
+
+class TestStreams:
+    def test_info_to_stdout_without_prefix(self, capsys):
+        Logger("t").info("hello", n=2)
+        captured = capsys.readouterr()
+        assert captured.out == "hello n=2\n"
+        assert captured.err == ""
+
+    def test_warning_and_error_to_stderr_with_prefix(self, capsys):
+        logger = Logger("t")
+        logger.warning("careful")
+        logger.error("broken")
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "warning: careful\n" in captured.err
+        assert "error: broken\n" in captured.err
+
+    def test_debug_hidden_by_default(self, capsys):
+        logger = Logger("t")
+        logger.debug("noise")
+        assert capsys.readouterr().err == ""
+        logger.verbose()
+        logger.debug("noise")
+        assert "debug: noise" in capsys.readouterr().err
+
+
+class TestLevels:
+    def test_quiet_suppresses_info_keeps_errors(self, capsys):
+        logger = Logger("t")
+        logger.quiet()
+        logger.info("report")
+        logger.error("still visible")
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "still visible" in captured.err
+
+    def test_is_enabled(self):
+        logger = Logger("t", level="warning")
+        assert not logger.is_enabled("info")
+        assert logger.is_enabled("error")
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            Logger("t", level="loud")
+
+    def test_numeric_level_accepted(self):
+        logger = Logger("t", level=LEVELS["error"])
+        assert not logger.is_enabled("warning")
+
+
+class TestRegistry:
+    def test_get_logger_is_singleton_per_name(self):
+        assert get_logger("repro.x") is get_logger("repro.x")
+        assert get_logger("repro.x") is not get_logger("repro.y")
+
+    def test_set_level_by_name_and_globally(self, capsys):
+        a, b = get_logger("repro.a"), get_logger("repro.b")
+        set_level("quiet", "repro.a")
+        a.info("hidden")
+        b.info("shown")
+        assert capsys.readouterr().out == "shown\n"
+        set_level("quiet")
+        b.info("now hidden")
+        assert capsys.readouterr().out == ""
+        set_level("info")  # restore for other tests

@@ -139,7 +139,8 @@ class TestIngestCostModel:
         report = fresh.ingest(small_corpus)
         assert report.elapsed_s > 0
         assert report.postings_inserted > 0
-        assert report.bottleneck in ("storage", "compression", "index")
+        assert report.bottleneck in ("storage", "compress", "host")
+        assert set(report.breakdown) == {"storage", "compress", "host"}
 
     def test_index_is_not_the_bottleneck(self, small_corpus):
         # the Section 6 design claim: the index keeps up with the

@@ -1,0 +1,121 @@
+"""Tests for the benchmark text renderers (repro.system.report)."""
+
+import math
+
+import pytest
+
+from repro.system.report import (
+    log_bins,
+    render_histogram,
+    render_scatter_summary,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_title_rule_headers_rows(self):
+        out = render_table(
+            "Table X", ["Name", "GB/s"], [["BGL2", 4.5], ["Spirit2", 12]],
+            col_width=10,
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Table X"
+        assert set(lines[1]) == {"-"}
+        assert len(lines[1]) == 20  # col_width * columns > len(title)
+        assert lines[2].startswith("Name")
+        assert "GB/s" in lines[2]
+
+    def test_floats_two_decimals_others_verbatim(self):
+        out = render_table("t", ["a", "b", "c"], [[1.2345, 7, "text"]])
+        row = out.splitlines()[-1]
+        assert "1.23" in row
+        assert "1.2345" not in row
+        assert "7" in row and "text" in row
+
+    def test_column_width_respected(self):
+        out = render_table("t", ["a", "b"], [["x", "y"]], col_width=8)
+        row = out.splitlines()[-1]
+        assert row.index("y") == 8
+
+    def test_empty_rows(self):
+        out = render_table("t", ["a"], [])
+        assert out.splitlines()[-1].startswith("a")
+
+
+class TestRenderHistogram:
+    def test_counts_land_in_bins(self):
+        out = render_histogram("h", [0.5, 1.5, 1.6], [0.0, 1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[0] == "h"
+        assert lines[1].endswith(" 1")
+        assert lines[2].endswith(" 2")
+
+    def test_overflow_clamps_to_last_bin(self):
+        out = render_histogram("h", [99.0], [0.0, 1.0, 2.0])
+        assert out.splitlines()[-1].endswith(" 1")
+
+    def test_below_range_dropped(self):
+        out = render_histogram("h", [-5.0], [0.0, 1.0])
+        assert out.splitlines()[-1].endswith(" 0")
+
+    def test_bar_scales_to_peak(self):
+        out = render_histogram(
+            "h", [0.5] * 8 + [1.5] * 4, [0.0, 1.0, 2.0], width=8
+        )
+        lines = out.splitlines()
+        assert "#" * 8 in lines[1]
+        assert "#" * 4 in lines[2]
+        assert "#" * 5 not in lines[2]
+
+    def test_unit_in_labels(self):
+        out = render_histogram("h", [0.5], [0.0, 1.0], unit="ms")
+        assert "ms" in out.splitlines()[1]
+
+    def test_empty_values(self):
+        out = render_histogram("h", [], [0.0, 1.0])
+        assert out.splitlines()[-1].endswith(" 0")
+
+
+class TestLogBins:
+    def test_log_spaced_edges(self):
+        edges = log_bins(0.1, 1000.0, 4)
+        assert len(edges) == 5
+        assert edges[0] == pytest.approx(0.1)
+        assert edges[-1] == pytest.approx(1000.0)
+        ratios = [edges[i + 1] / edges[i] for i in range(4)]
+        assert all(r == pytest.approx(10.0) for r in ratios)
+
+    def test_monotonic(self):
+        edges = log_bins(0.5, 64.0, 7)
+        assert edges == sorted(edges)
+
+    @pytest.mark.parametrize(
+        "low,high,count", [(0.0, 1.0, 3), (-1.0, 1.0, 3), (2.0, 1.0, 3),
+                           (1.0, 2.0, 0)]
+    )
+    def test_invalid_inputs_rejected(self, low, high, count):
+        with pytest.raises(ValueError):
+            log_bins(low, high, count)
+
+
+class TestRenderScatterSummary:
+    def test_quartiles_and_wins(self):
+        pairs = [(float(i), float(i) + 1.0) for i in range(1, 9)]
+        out = render_scatter_summary("fig16", pairs)
+        lines = out.splitlines()
+        assert lines[0] == "fig16"
+        assert "samples: 8" in lines[1]
+        assert "faster on 8 (100%)" in lines[1]
+        # quartiles are index-based: ordered[n//4], ordered[n//2], ordered[3n//4]
+        assert "q25=3.0000 median=5.0000 q75=7.0000" in lines[2]
+        assert "q25=4.0000 median=6.0000 q75=8.0000" in lines[3]
+
+    def test_custom_axis_labels(self):
+        out = render_scatter_summary(
+            "t", [(1.0, 2.0), (2.0, 1.0)], x_label="ours", y_label="theirs"
+        )
+        assert "ours" in out and "theirs" in out
+        assert "faster on 1 (50%)" in out
+
+    def test_empty_pairs(self):
+        assert render_scatter_summary("t", []) == "t\n(no samples)"

@@ -102,12 +102,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"full scan {plan.estimated_scan_s * 1e3:.2f} ms"
         )
         return 0
+    if args.workers > 1 and args.stop_after is not None:
+        log.warning("--stop-after forces the serial scan path; ignoring --workers")
     outcome = system.query(
         query,
         use_index=not args.no_index,
         time_range=time_range,
         limit=args.stop_after,
         newest_first=args.newest_first,
+        workers=args.workers,
     )
     stats = outcome.stats
     log.info(
@@ -299,6 +302,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--explain", action="store_true",
         help="print the planner's decision instead of executing",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="parallelise the scan over this many processes "
+        "(results are identical at any worker count)",
     )
     p.set_defaults(func=_cmd_query)
 

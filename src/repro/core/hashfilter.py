@@ -25,6 +25,10 @@ from repro.core.tokenizer import TokenWord, reassemble_tokens
 from repro.errors import CapacityError
 from repro.params import CuckooParams
 
+#: Sentinel distinguishing "not yet cached" from a cached table miss
+#: (``None``) in the batch kernel's effect-cache probe.
+_UNCACHED = object()
+
 
 @dataclass(frozen=True)
 class CompiledQuery:
@@ -39,6 +43,7 @@ class CompiledQuery:
         # the table is immutable once compiled, so lookups are cacheable;
         # log corpora repeat tokens heavily, making this cache very hot
         object.__setattr__(self, "_lookup_cache", {})
+        object.__setattr__(self, "_effect_cache", {})
 
     def cached_lookup(self, token: bytes):
         cache = self._lookup_cache
@@ -49,6 +54,42 @@ class CompiledQuery:
             if len(cache) < 1 << 16:
                 cache[token] = result
             return result
+
+    def token_effect(
+        self, token: bytes
+    ) -> Optional[tuple[int, tuple[tuple[int, int], ...], Optional[int]]]:
+        """The filter-state update one token triggers, fully precomputed.
+
+        ``None`` for tokens outside the table (the overwhelmingly common
+        case). Otherwise ``(violate_mask, bit_updates, column)``: a
+        bitmask over intersection sets this token violates, the
+        ``(iset_index, row_bit)`` pairs it satisfies, and the positional
+        constraint (``None`` when unconstrained). This flattens the
+        per-token flag-pair loop of :meth:`LineEvaluator.feed` into data
+        the batch kernel consumes with one dict probe per token.
+        """
+        cache = self._effect_cache
+        try:
+            return cache[token]
+        except KeyError:
+            hit = self.cached_lookup(token)
+            if hit is None:
+                effect = None
+            else:
+                row, entry = hit
+                violate_mask = 0
+                bit_updates = []
+                for iset_index, pair in enumerate(entry.flags):
+                    if not pair.valid:
+                        continue
+                    if pair.negative:
+                        violate_mask |= 1 << iset_index
+                    else:
+                        bit_updates.append((iset_index, 1 << row))
+                effect = (violate_mask, tuple(bit_updates), entry.column)
+            if len(cache) < 1 << 16:
+                cache[token] = effect
+            return effect
 
     @property
     def num_isets(self) -> int:
@@ -183,3 +224,50 @@ class HashFilter:
         self.lines_processed += 1
         self.tokens_processed += len(tokens)
         return evaluator.query_verdicts()
+
+    def evaluate_token_lists(
+        self, token_lists: Sequence[Sequence[bytes]]
+    ) -> list[tuple[bool, ...]]:
+        """Batch kernel: one verdict tuple per pre-split line.
+
+        Semantically identical to calling :meth:`evaluate_tokens` per
+        line (the equivalence suite pins this down), but without per-line
+        evaluator objects or per-token method dispatch: filter state is
+        two integers-and-a-list per line, token effects come precomputed
+        from :meth:`CompiledQuery.token_effect`, and all loop-invariant
+        lookups are bound to locals once per batch.
+        """
+        program = self.program
+        effect_cache = program._effect_cache
+        token_effect = program.token_effect
+        query_bitmaps = program.query_bitmaps
+        iset_to_query = program.iset_to_query
+        num_isets = program.num_isets
+        num_queries = program.num_queries
+        zero_bitmaps = [0] * num_isets
+        verdicts: list[tuple[bool, ...]] = []
+        tokens_seen = 0
+        for tokens in token_lists:
+            tokens_seen += len(tokens)
+            violated = 0
+            bitmaps = zero_bitmaps[:]
+            for position, token in enumerate(tokens):
+                effect = effect_cache.get(token, _UNCACHED)
+                if effect is _UNCACHED:
+                    effect = token_effect(token)
+                if effect is None:
+                    continue
+                violate_mask, bit_updates, column = effect
+                if column is not None and position != column:
+                    continue
+                violated |= violate_mask
+                for iset_index, bit in bit_updates:
+                    bitmaps[iset_index] |= bit
+            line_verdict = [False] * num_queries
+            for k in range(num_isets):
+                if not (violated >> k) & 1 and bitmaps[k] == query_bitmaps[k]:
+                    line_verdict[iset_to_query[k]] = True
+            verdicts.append(tuple(line_verdict))
+        self.lines_processed += len(verdicts)
+        self.tokens_processed += tokens_seen
+        return verdicts

@@ -32,17 +32,77 @@ DELIMITERS = b" \t"
 
 _DELIM_SET = frozenset(DELIMITERS)
 
+#: Precomputed 256-entry delimiter table: maps tab onto space so one
+#: C-level ``bytes.translate`` collapses the delimiter set to a single
+#: split byte. Extending ``DELIMITERS`` only requires extending this map.
+_DELIM_TRANSLATE = bytes.maketrans(b"\t", b" ")
+
 
 def split_tokens(line: bytes) -> List[bytes]:
     """Split a log line into tokens on the delimiter set.
 
     Runs of delimiters produce no empty tokens. The trailing newline, if
     present, is not part of any token.
+
+    This is the hot-path kernel: the entire scan pipeline (query oracle,
+    inverted index, performance model, hardware model) funnels every line
+    through it, so it stays on C-level bytes primitives — ``rstrip`` /
+    ``translate`` with the precomputed delimiter table / ``split`` — and
+    skips the translate copy when the line carries no tab at all.
+    :func:`split_tokens_reference` is the byte-at-a-time specification it
+    is tested against.
     """
     if not line:
         return []
-    body = line.rstrip(b"\n").replace(b"\t", b" ")
+    body = line.rstrip(b"\n")
+    if b"\t" in body:
+        body = body.translate(_DELIM_TRANSLATE)
     return [token for token in body.split(b" ") if token]
+
+
+def split_tokens_reference(line: bytes) -> List[bytes]:
+    """Byte-at-a-time reference for :func:`split_tokens`.
+
+    This walks the line the way the hardware tokenizer's state machine
+    does — one byte per step, cutting a token at every delimiter run —
+    and exists purely as the equivalence oracle for the kernel above.
+    """
+    if not line:
+        return []
+    body = line.rstrip(b"\n")
+    tokens: List[bytes] = []
+    start: int | None = None
+    for i, byte in enumerate(body):
+        if byte in DELIMITERS:
+            if start is not None:
+                tokens.append(body[start:i])
+                start = None
+        elif start is None:
+            start = i
+    if start is not None:
+        tokens.append(body[start:])
+    return tokens
+
+
+def tokenize_page(payload: bytes) -> tuple[List[bytes], List[List[bytes]]]:
+    """Split one decompressed page into lines and per-line token lists.
+
+    Batch kernel for the scan executor: the delimiter translate runs once
+    over the whole page instead of once per line, and the returned lines
+    are the *original* bytes (tabs preserved) so filtered output stays
+    byte-identical with the per-line path. Line boundaries follow
+    ``bytes.splitlines`` exactly, mirroring the device's FILTER mode.
+    """
+    raw_lines = payload.splitlines()
+    if b"\t" in payload:
+        translated = payload.translate(_DELIM_TRANSLATE).splitlines()
+    else:
+        translated = raw_lines
+    # splitlines-produced lines carry no line terminator, so no rstrip
+    token_lists = [
+        [token for token in body.split(b" ") if token] for body in translated
+    ]
+    return raw_lines, token_lists
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,243 @@
+"""Parallel scan executor: one storage pass, many queries, many cores.
+
+The paper's batched-query experiment (Table 6) keeps effective
+throughput flat as the query count grows because the accelerator
+evaluates every registered query in the same pass over the decompressed
+stream. This module is the host-simulation counterpart: a
+:class:`ScanExecutor` takes the candidate pages of a scan, partitions
+them, and fans the CPU-heavy work — LZAH decode, tokenization, filter
+evaluation for *all* queries at once — out over a process pool, while
+flash reads, fault injection, retry accounting and simulated timing stay
+in the calling process, in page order, exactly as the serial path does.
+
+Determinism is by construction: ``workers=1`` runs the very same
+partition kernel inline (no pool, no processes), partitions are
+contiguous slices of the candidate list, and results are concatenated in
+partition order. A seeded fault schedule therefore sees the identical
+read sequence at any worker count, and the scan output is byte-identical
+to the serial device FILTER path (the equivalence suite pins this down).
+
+Only host wall-clock changes. Simulated stage times and ``hw/perf``
+cycle accounting are functions of byte counts that this module
+reproduces exactly.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.hashfilter import compile_queries
+from repro.core.query import Query
+from repro.core.tokenizer import tokenize_page
+from repro.errors import QueryError
+from repro.obs.metrics import get_registry
+from repro.params import CuckooParams, LZAHParams
+
+
+@dataclass(frozen=True)
+class ScanProgramSpec:
+    """Everything a worker needs to rebuild the scan program.
+
+    Workers recompile the query program from first principles
+    (:func:`repro.core.hashfilter.compile_queries` is deterministic in
+    ``(queries, params, seed)``), so nothing stateful crosses the process
+    boundary — only frozen parameter dataclasses and query algebra.
+    """
+
+    queries: tuple[Query, ...]
+    cuckoo_params: CuckooParams
+    seed: int
+    offloaded: bool
+    lzah_params: LZAHParams
+
+
+@dataclass(frozen=True)
+class ScanAggregate:
+    """What one scan produced, in the units the system's stats need."""
+
+    data: bytes  #: concatenated per-page FILTER output (kept lines)
+    bytes_decompressed: int
+    lines_seen: int
+    lines_kept: int
+
+
+#: Per-process memo of compiled filter programs, keyed by the hashable
+#: ``(queries, cuckoo_params, seed)`` triple: a pool worker serving many
+#: partitions of many scans compiles each program once.
+_PROGRAM_MEMO: dict = {}
+
+#: Per-process memo of LZAH codecs by parameter bundle.
+_CODEC_MEMO: dict = {}
+
+
+def _partition_kernel(
+    spec: ScanProgramSpec, items: Sequence[tuple[bool, bytes]]
+) -> tuple[bytes, int, int, int]:
+    """Scan one contiguous partition of pages.
+
+    ``items`` holds ``(is_decoded, payload)`` pairs in page order: cache
+    hits arrive already decoded, misses arrive compressed and are decoded
+    here (this is the work the fan-out parallelises). Returns
+    ``(data, bytes_decompressed, lines_seen, lines_kept)`` with ``data``
+    byte-identical to the device FILTER path's per-page output.
+
+    Module-level and argument-picklable so it runs identically inline
+    (``workers=1``) and in a pool worker.
+    """
+    from repro.compression.lzah import LZAHCompressor
+    from repro.core.hashfilter import HashFilter
+
+    codec = _CODEC_MEMO.get(spec.lzah_params)
+    if codec is None:
+        codec = LZAHCompressor(spec.lzah_params)
+        _CODEC_MEMO[spec.lzah_params] = codec
+    decode = codec.decompress
+
+    verdict_fn = None
+    if spec.offloaded:
+        memo_key = (spec.queries, spec.cuckoo_params, spec.seed)
+        program = _PROGRAM_MEMO.get(memo_key)
+        if program is None:
+            program = compile_queries(
+                spec.queries, params=spec.cuckoo_params, seed=spec.seed
+            )
+            _PROGRAM_MEMO[memo_key] = program
+        verdict_fn = HashFilter(program).evaluate_token_lists
+    queries = spec.queries
+
+    out_chunks: list[bytes] = []
+    bytes_decompressed = 0
+    lines_seen = 0
+    lines_kept = 0
+    for is_decoded, payload in items:
+        text = payload if is_decoded else decode(payload)
+        bytes_decompressed += len(text)
+        raw_lines, token_lists = tokenize_page(text)
+        lines_seen += len(raw_lines)
+        if verdict_fn is not None:
+            verdicts = verdict_fn(token_lists)
+            kept = [
+                line
+                for line, verdict in zip(raw_lines, verdicts)
+                if True in verdict
+            ]
+        else:
+            kept = [
+                line
+                for line, tokens in zip(raw_lines, token_lists)
+                if any(q.matches_tokens(tokens) for q in queries)
+            ]
+        lines_kept += len(kept)
+        out_chunks.append(b"\n".join(kept) + (b"\n" if kept else b""))
+    return b"".join(out_chunks), bytes_decompressed, lines_seen, lines_kept
+
+
+class ScanExecutor:
+    """Partitions a scan's pages and runs the partition kernel on them.
+
+    ``workers == 1`` is the deterministic in-process fallback: the kernel
+    runs inline in the calling process and no pool is ever created, so
+    anything the caller keeps deterministic (seeded fault schedules,
+    sim-clock traces) stays bit-identical. ``workers > 1`` lazily spins
+    up a :class:`~concurrent.futures.ProcessPoolExecutor` that is reused
+    across scans until :meth:`close`.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise QueryError("scan executor needs at least one worker")
+        self.workers = workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+        registry = get_registry()
+        self._m_partitions = (
+            registry.counter(
+                "mithrilog_scan_partitions_total",
+                "Scan partitions executed, by execution mode",
+                labelnames=("mode",),
+            )
+            if registry is not None
+            else None
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ScanExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- scanning --------------------------------------------------------
+
+    def scan(
+        self, spec: ScanProgramSpec, items: Sequence[tuple[bool, bytes]]
+    ) -> ScanAggregate:
+        """Run the filter scan over ``items`` (page order preserved).
+
+        Partitions are contiguous slices, results are gathered in
+        partition order, and a worker failure (e.g. a corrupt page's
+        :class:`repro.errors.CompressedFormatError`) propagates to the
+        caller exactly as the inline path would raise it.
+        """
+        if self.workers == 1 or len(items) <= 1:
+            if self._m_partitions is not None:
+                self._m_partitions.inc(mode="inline")
+            data, decompressed, seen, kept = _partition_kernel(spec, items)
+            return ScanAggregate(
+                data=data,
+                bytes_decompressed=decompressed,
+                lines_seen=seen,
+                lines_kept=kept,
+            )
+        pool = self._ensure_pool()
+        partitions = _partition_slices(len(items), self.workers)
+        futures = [
+            pool.submit(_partition_kernel, spec, items[start:stop])
+            for start, stop in partitions
+        ]
+        if self._m_partitions is not None:
+            self._m_partitions.inc(len(futures), mode="pool")
+        chunks: list[bytes] = []
+        bytes_decompressed = 0
+        lines_seen = 0
+        lines_kept = 0
+        for future in futures:  # in partition order — not completion order
+            data, decompressed, seen, kept = future.result()
+            chunks.append(data)
+            bytes_decompressed += decompressed
+            lines_seen += seen
+            lines_kept += kept
+        return ScanAggregate(
+            data=b"".join(chunks),
+            bytes_decompressed=bytes_decompressed,
+            lines_seen=lines_seen,
+            lines_kept=lines_kept,
+        )
+
+
+def _partition_slices(n: int, workers: int) -> list[tuple[int, int]]:
+    """Split ``n`` items into at most ``workers`` contiguous balanced slices."""
+    if n <= 0:
+        return []
+    parts = min(workers, n)
+    base, extra = divmod(n, parts)
+    slices = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        slices.append((start, start + size))
+        start += size
+    return slices

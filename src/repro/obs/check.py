@@ -6,7 +6,7 @@ It exits non-zero when
 
 - a trace file is missing, malformed, or contains no duration events,
 - a ``.prom`` snapshot is missing any of the canonical metric families
-  (storage, pipeline, index, WAL, faults),
+  (storage, pipeline, index, WAL, faults, scan executor/cache),
 - a ``.json`` metrics snapshot is not a valid snapshot object.
 
 Keeping the validator in the library (rather than a shell one-liner in
@@ -30,6 +30,7 @@ REQUIRED_FAMILY_PREFIXES = (
     "mithrilog_index_",
     "mithrilog_wal_",
     "mithrilog_faults_",
+    "mithrilog_scan_",
 )
 
 LOG = get_logger("repro.obs.check")

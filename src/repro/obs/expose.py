@@ -178,3 +178,19 @@ def bootstrap_families(registry: Optional[MetricsRegistry] = None) -> None:
     registry.counter(
         "mithrilog_query_total", "End-to-end queries", labelnames=("path",)
     )
+    registry.counter(
+        "mithrilog_scan_cache_hits_total",
+        "Decompressed-page cache hits",
+    )
+    registry.counter(
+        "mithrilog_scan_cache_misses_total",
+        "Decompressed-page cache misses",
+    )
+    registry.gauge(
+        "mithrilog_scan_workers",
+        "Worker count used by the most recent scan",
+    )
+    registry.gauge(
+        "mithrilog_scan_batch_queries",
+        "Concurrent queries in the most recent scan batch",
+    )

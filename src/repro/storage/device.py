@@ -18,6 +18,7 @@ its bottleneck stage, which is exactly the arithmetic behind Figure 14.
 from __future__ import annotations
 
 import enum
+import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
@@ -37,8 +38,16 @@ from repro.storage.page import Page
 #: Decompresses one stored page payload into text bytes.
 PageDecompressor = Callable[[bytes], bytes]
 
+#: Address-aware decompressor: ``(page address, payload) -> text``. The
+#: address lets the host wire a decompressed-page cache keyed by page;
+#: when configured it takes precedence over the plain decompressor.
+AddressedPageDecompressor = Callable[[int, bytes], bytes]
+
 #: Decides whether one log line (without trailing newline) survives.
 LineFilter = Callable[[bytes], bool]
+
+#: Process-wide device key allocator (cache namespace per device).
+_DEVICE_KEYS = itertools.count()
 
 
 class ReadMode(enum.Enum):
@@ -77,6 +86,9 @@ class DeviceConfig:
 
     decompress_page: Optional[PageDecompressor] = None
     line_filter: Optional[LineFilter] = None
+    #: When set, used instead of ``decompress_page`` and handed the page
+    #: address too — the hook the host's decompressed-page cache uses.
+    decompress_page_at: Optional[AddressedPageDecompressor] = None
 
 
 class MithriLogDevice:
@@ -95,6 +107,8 @@ class MithriLogDevice:
             bandwidth=self.params.external_bandwidth
         )
         self.config = DeviceConfig()
+        #: Process-unique key naming this device in page-cache entries.
+        self.device_key = next(_DEVICE_KEYS)
         self.retry_policy = (
             retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
         )
@@ -124,10 +138,13 @@ class MithriLogDevice:
         self,
         decompress_page: Optional[PageDecompressor] = None,
         line_filter: Optional[LineFilter] = None,
+        decompress_page_at: Optional[AddressedPageDecompressor] = None,
     ) -> None:
         """Program the accelerator for the next query."""
         self.config = DeviceConfig(
-            decompress_page=decompress_page, line_filter=line_filter
+            decompress_page=decompress_page,
+            line_filter=line_filter,
+            decompress_page_at=decompress_page_at,
         )
 
     # -- writes ----------------------------------------------------------
@@ -190,6 +207,35 @@ class MithriLogDevice:
             retries += extra
         return pages, retries
 
+    # -- executor-facing fetch -------------------------------------------
+
+    def fetch_pages(
+        self,
+        addresses: Sequence[int],
+        count_mode: Optional[ReadMode] = None,
+    ) -> tuple[list[Page], int]:
+        """Fetch raw pages for an externally-executed scan.
+
+        The scan executor keeps flash access — and therefore fault
+        injection, retries and read accounting — inside the device while
+        running decompression and filtering itself. Reads go through the
+        same batched retry path as :meth:`read`, in the same order, so a
+        seeded fault schedule cannot tell the two apart. ``count_mode``
+        attributes the request in the device's read counter (a scan
+        executor fetch is still one FILTER-shaped request).
+        """
+        pages, retries = self._read_batch_with_retry(list(addresses), None)
+        if self._m_reads is not None and count_mode is not None:
+            self._m_reads.inc(mode=count_mode.value)
+            if retries:
+                self._m_retries.inc(retries)
+        return pages, retries
+
+    def account_host_bytes(self, nbytes: int) -> None:
+        """Count bytes an external scan DMAed across the host link."""
+        if self._m_bytes_to_host is not None:
+            self._m_bytes_to_host.inc(nbytes)
+
     # -- reads -----------------------------------------------------------
 
     def read(
@@ -238,11 +284,14 @@ class MithriLogDevice:
             bytes_from_flash += len(page)
             payload = page.data
             if mode in (ReadMode.DECOMPRESS, ReadMode.FILTER):
-                if self.config.decompress_page is None:
+                if self.config.decompress_page_at is not None:
+                    payload = self.config.decompress_page_at(address, payload)
+                elif self.config.decompress_page is not None:
+                    payload = self.config.decompress_page(payload)
+                else:
                     raise StorageError(
                         f"{mode.value} read requested but no decompressor configured"
                     )
-                payload = self.config.decompress_page(payload)
                 bytes_decompressed += len(payload)
             if mode is ReadMode.FILTER:
                 if self.config.line_filter is None:

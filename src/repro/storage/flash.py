@@ -11,7 +11,7 @@ clock and pay nothing; the performance benches drive reads against a
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 from repro.errors import PageBoundsError, StorageError, UnwrittenPageError
 from repro.obs.metrics import get_registry
@@ -45,6 +45,12 @@ class FlashArray:
         self._pages: dict[int, Page] = {}
         self._next_free = 0
         self.fault_injector = fault_injector
+        #: Called with the page address after every write (explicit writes,
+        #: appends — and therefore FTL moves and index compaction, which
+        #: funnel through them). The decompressed-page cache registers its
+        #: invalidation here; the write path pays one truthiness test when
+        #: nobody is listening.
+        self.write_listeners: list[Callable[[int], None]] = []
         self.internal_link = LinkModel(
             bandwidth=self.params.internal_bandwidth,
             latency_s=self.params.latency_s,
@@ -101,6 +107,9 @@ class FlashArray:
         if self._m_pages_written is not None:
             self._m_pages_written.inc()
             self._m_bytes_written.inc(len(page))
+        if self.write_listeners:
+            for listener in self.write_listeners:
+                listener(address)
 
     def append_page(self, page: Page) -> int:
         """Append a page at the next free address and return that address."""
@@ -111,6 +120,9 @@ class FlashArray:
         if self._m_pages_written is not None:
             self._m_pages_written.inc()
             self._m_bytes_written.inc(len(page))
+        if self.write_listeners:
+            for listener in self.write_listeners:
+                listener(address)
         return address
 
     def read_page(self, address: int, clock: Optional[SimClock] = None) -> Page:

@@ -193,14 +193,20 @@ class MithriLogCluster:
 
     # -- query ---------------------------------------------------------------
 
-    def query(self, *queries: Query, use_index: bool = True) -> ClusterQueryOutcome:
+    def query(
+        self,
+        *queries: Query,
+        use_index: bool = True,
+        workers: int = 1,
+    ) -> ClusterQueryOutcome:
         """Scatter the queries, gather matches in shard order.
 
         Storage failures inside a shard (a page still failing after the
         device's retries, a shard that is down) do not fail the whole
         query: the shard is recorded in ``shard_errors`` and the outcome
         comes back explicitly degraded, with the healthy shards' matches
-        intact.
+        intact. ``workers`` is handed to each shard's scan executor
+        (see :meth:`repro.system.mithrilog.MithriLogSystem.query`).
         """
         if not queries:
             raise QueryError("query() needs at least one query")
@@ -214,7 +220,9 @@ class MithriLogCluster:
             try:
                 if self.fault_injector is not None:
                     self.fault_injector.on_query(index)
-                outcome = shard.query(*queries, use_index=use_index)
+                outcome = shard.query(
+                    *queries, use_index=use_index, workers=workers
+                )
             except StorageError as exc:
                 shard_errors.append(
                     ShardError(
@@ -239,5 +247,12 @@ class MithriLogCluster:
             shard_errors=shard_errors,
         )
 
-    def scan_all(self, *queries: Query) -> ClusterQueryOutcome:
-        return self.query(*queries, use_index=False)
+    def scan_all(
+        self, *queries: Query, workers: int = 1
+    ) -> ClusterQueryOutcome:
+        return self.query(*queries, use_index=False, workers=workers)
+
+    def close(self) -> None:
+        """Release every shard's scan worker pools (idempotent)."""
+        for shard in self.shards:
+            shard.close()

@@ -23,13 +23,15 @@ from repro.compression.lzah import LZAHCompressor
 from repro.core.engine import TokenFilterEngine
 from repro.core.query import Query
 from repro.errors import IngestError, QueryError
+from repro.exec.cache import DEFAULT_CACHE_PAGES, PageCache
+from repro.exec.executor import ScanExecutor, ScanProgramSpec
 from repro.hw.perf import PipelineCycleModel, measure_tokenized_stats
 from repro.index.inverted import InvertedIndex
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import SpanTracer
 from repro.params import PROTOTYPE, SystemParams
 from repro.sim.clock import SimClock
-from repro.storage.device import MithriLogDevice, ReadMode
+from repro.storage.device import DeviceReadResult, MithriLogDevice, ReadMode
 from repro.storage.page import Page
 from repro.core.tokenizer import split_tokens
 
@@ -195,12 +197,26 @@ class MithriLogSystem:
         device: Optional[MithriLogDevice] = None,
         index=None,
         tracer: Optional[SpanTracer] = None,
+        cache_pages: int = DEFAULT_CACHE_PAGES,
     ) -> None:
         self.params = params if params is not None else PROTOTYPE
         self.device = (
             device if device is not None else MithriLogDevice(self.params.storage)
         )
         self.codec = LZAHCompressor(self.params.lzah)
+        #: Decompressed-page LRU (``cache_pages <= 0`` disables it). Keyed
+        #: by (device, page, codec); every flash write — ingest appends,
+        #: FTL moves, index compaction — invalidates through the listener.
+        self.page_cache = PageCache(cache_pages)
+        self._codec_key = (self.codec.name, self.params.lzah)
+        self.device.flash.write_listeners.append(
+            lambda address: self.page_cache.invalidate(
+                self.device.device_key, address
+            )
+        )
+        #: Scan executors by worker count, created lazily and reused so a
+        #: worker pool survives across queries.
+        self._scan_executors: dict[int, ScanExecutor] = {}
         # any index strategy with the InvertedIndex surface works
         # (Section 6: "can be coupled with any indexing strategy")
         self.index = (
@@ -249,12 +265,22 @@ class MithriLogSystem:
                 "mithrilog_ingest_compressed_bytes_total",
                 "Compressed bytes stored",
             )
+            self._m_scan_workers = registry.gauge(
+                "mithrilog_scan_workers",
+                "Worker count used by the most recent scan",
+            )
+            self._m_batch_queries = registry.gauge(
+                "mithrilog_scan_batch_queries",
+                "Concurrent queries in the most recent scan batch",
+            )
         else:
             self._m_queries = None
             self._m_query_seconds = None
             self._m_ingest_lines = None
             self._m_ingest_bytes = None
             self._m_ingest_compressed = None
+            self._m_scan_workers = None
+            self._m_batch_queries = None
 
     # ------------------------------------------------------------------
     # Ingest
@@ -404,6 +430,7 @@ class MithriLogSystem:
         time_range: Optional[tuple[Optional[float], Optional[float]]] = None,
         limit: Optional[int] = None,
         newest_first: bool = False,
+        workers: int = 1,
     ) -> QueryOutcome:
         """Run one or more concurrent queries end to end.
 
@@ -414,9 +441,19 @@ class MithriLogSystem:
         and what Section 6.3's reverse-ordered index traversal hands the
         host for free. With both set, the result is "the last ``limit``
         matches", in storage order within the visited range.
+
+        ``workers`` parallelises the host-side scan work (decompress,
+        tokenize, filter) over that many processes via the
+        :class:`repro.exec.ScanExecutor`. Results, simulated stats and
+        fault behaviour are identical at any worker count — only host
+        wall-clock changes; ``workers=1`` (the default) runs fully
+        in-process. A ``limit`` forces the in-process path, because
+        early cancellation is inherently sequential.
         """
         if not queries:
             raise QueryError("query() needs at least one query")
+        if workers < 1:
+            raise QueryError("workers must be at least 1")
         offloaded = self.engine.compile(*queries)
         stats = QueryStats(offloaded=offloaded, total_pages=self.index.total_data_pages)
 
@@ -437,13 +474,21 @@ class MithriLogSystem:
         if newest_first:
             candidates = list(reversed(candidates))
 
-        self.device.configure(
-            decompress_page=self.codec.decompress,
-            line_filter=self.engine.keep_line,
-        )
-        read = self.device.read(
-            candidates, mode=ReadMode.FILTER, stop_after_matches=limit
-        )
+        if self._m_scan_workers is not None:
+            self._m_scan_workers.set(workers)
+            self._m_batch_queries.set(len(queries))
+
+        if workers > 1 and limit is None:
+            read = self._scan_with_executor(candidates, queries, workers)
+        else:
+            self.device.configure(
+                decompress_page=self.codec.decompress,
+                decompress_page_at=self._cached_decompress,
+                line_filter=self.engine.keep_line,
+            )
+            read = self.device.read(
+                candidates, mode=ReadMode.FILTER, stop_after_matches=limit
+            )
         stats.pages_read = read.pages_read
         stats.bytes_from_flash = read.bytes_from_flash
         stats.bytes_decompressed = read.bytes_decompressed
@@ -459,10 +504,74 @@ class MithriLogSystem:
             self._m_queries.inc(path="scan" if stats.index_full_scan else "index")
             self._m_query_seconds.observe(stats.elapsed_s)
         if self.tracer is not None:
-            self._trace_query(stats, len(matched))
+            self._trace_query(stats, len(matched), per_query)
         self.clock.advance(stats.elapsed_s)
         return QueryOutcome(
             matched_lines=matched, per_query_counts=per_query, stats=stats
+        )
+
+    def _cached_decompress(self, address: int, payload: bytes) -> bytes:
+        """Address-aware decompressor serving from the page cache."""
+        return self.page_cache.get_or_decode(
+            self.device.device_key,
+            address,
+            self._codec_key,
+            payload,
+            self.codec.decompress,
+        )
+
+    def _scan_executor_for(self, workers: int) -> ScanExecutor:
+        executor = self._scan_executors.get(workers)
+        if executor is None:
+            executor = ScanExecutor(workers)
+            self._scan_executors[workers] = executor
+        return executor
+
+    def _scan_with_executor(
+        self, candidates: list[int], queries: tuple[Query, ...], workers: int
+    ) -> DeviceReadResult:
+        """The parallel scan: device-fetched pages, fanned-out filtering.
+
+        Flash access (and with it fault injection, retries and read
+        accounting) stays in the device, in candidate order — identical
+        to the serial FILTER read. Pages that hit the decompressed-page
+        cache skip the decode even in workers; the rest are decoded in
+        the pool. The returned result carries the exact byte counts the
+        serial path would, so :meth:`_fill_scan_times` produces the same
+        simulated stats at any worker count.
+        """
+        pages, retries = self.device.fetch_pages(
+            candidates, count_mode=ReadMode.FILTER
+        )
+        device_key = self.device.device_key
+        codec_key = self._codec_key
+        cache = self.page_cache
+        items: list[tuple[bool, bytes]] = []
+        for address, page in zip(candidates, pages):
+            payload = page.data
+            cached = cache.get(device_key, address, codec_key, payload)
+            if cached is not None:
+                items.append((True, cached))
+            else:
+                items.append((False, payload))
+        spec = ScanProgramSpec(
+            queries=tuple(queries),
+            cuckoo_params=self.engine.cuckoo_params,
+            seed=self.engine.seed,
+            offloaded=self.engine.offloaded,
+            lzah_params=self.params.lzah,
+        )
+        aggregate = self._scan_executor_for(workers).scan(spec, items)
+        self.device.account_host_bytes(len(aggregate.data))
+        return DeviceReadResult(
+            data=aggregate.data,
+            pages_read=len(pages),
+            bytes_from_flash=sum(len(p) for p in pages),
+            bytes_decompressed=aggregate.bytes_decompressed,
+            bytes_to_host=len(aggregate.data),
+            lines_seen=aggregate.lines_seen,
+            lines_kept=aggregate.lines_kept,
+            read_retries=retries,
         )
 
     def _index_time(self, lookup_stats) -> float:
@@ -503,18 +612,35 @@ class MithriLogSystem:
             stats.host_time_s,
         )
 
-    def _trace_query(self, stats: QueryStats, matches: int) -> None:
+    def _trace_query(
+        self,
+        stats: QueryStats,
+        matches: int,
+        per_query: Optional[list[int]] = None,
+    ) -> None:
         """Record the query's phase spans on the simulated timeline.
 
         The index traversal is serial; the four scan stages stream
         concurrently, so their spans share a start time and live on
-        separate tracks — exactly how the device pipelines them.
+        separate tracks — exactly how the device pipelines them. A
+        single query keeps its one ``query`` root span; a batch gets one
+        root span *per* query (``query[i]``, carrying that query's match
+        count) over the shared stage spans, so per-query latency and
+        selectivity stay attributable after batching.
         """
         t0 = self.clock.now
-        self.tracer.record(
-            "query", t0, stats.elapsed_s, category="query", track="query",
-            pages=stats.pages_read, matches=matches,
-        )
+        if per_query is not None and len(per_query) > 1:
+            for i, count in enumerate(per_query):
+                self.tracer.record(
+                    f"query[{i}]", t0, stats.elapsed_s, category="query",
+                    track="query", pages=stats.pages_read, matches=count,
+                    batch_index=i, batch_size=len(per_query),
+                )
+        else:
+            self.tracer.record(
+                "query", t0, stats.elapsed_s, category="query", track="query",
+                pages=stats.pages_read, matches=matches,
+            )
         self.tracer.record(
             "index_lookup", t0, stats.index_time_s, category="query",
             track="index", root_visits=stats.index_root_visits,
@@ -550,7 +676,19 @@ class MithriLogSystem:
 
     # -- convenience -----------------------------------------------------
 
-    def scan_all(self, *queries: Query) -> QueryOutcome:
+    def scan_all(self, *queries: Query, workers: int = 1) -> QueryOutcome:
         """Whole-store scan (the Section 7.4 token-filter experiments run
-        with the index disabled)."""
-        return self.query(*queries, use_index=False)
+        with the index disabled).
+
+        All queries share one decompress+tokenize pass per page — the
+        paper's batched-query mode — and ``workers`` fans the scan out
+        over a process pool (see :meth:`query`).
+        """
+        return self.query(*queries, use_index=False, workers=workers)
+
+    def close(self) -> None:
+        """Release scan worker pools (idempotent; safe mid-lifecycle —
+        executors are recreated lazily on the next parallel query)."""
+        for executor in self._scan_executors.values():
+            executor.close()
+        self._scan_executors.clear()

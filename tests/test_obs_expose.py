@@ -93,8 +93,17 @@ class TestBootstrapFamilies:
             "mithrilog_wal_",
             "mithrilog_faults_",
             "mithrilog_query_",
+            "mithrilog_scan_",
         ):
             assert family in text, family
+
+    def test_bootstrap_satisfies_the_artifact_validator(self, registry):
+        # the CI validator's required families and bootstrap_families
+        # must never drift apart
+        from repro.obs.check import check_prometheus_text
+
+        bootstrap_families(registry)
+        assert check_prometheus_text(render_prometheus(registry)) == []
 
     def test_idempotent_and_compatible_with_components(self, registry):
         # bootstrapping must agree with the schemas components register,

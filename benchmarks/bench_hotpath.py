@@ -167,6 +167,20 @@ def run(args: argparse.Namespace) -> int:
     out.write_text(json.dumps(trajectory, indent=1) + "\n")
     print(f"wrote {len(records)} records to {out}")
 
+    if args.explain_out:
+        # EXPLAIN ANALYZE against the warm-cache system: the report's
+        # canonical plan/attribution content is cache- and worker-
+        # invariant, and CI re-validates the artifact with repro.obs.check
+        report = cached_system.explain(queries[0], analyze=True)
+        report.write(args.explain_out)
+        print(f"wrote explain report to {args.explain_out}")
+    if args.profile_out:
+        from repro.obs.expose import bootstrap_families, write_snapshot
+
+        bootstrap_families()
+        write_snapshot(args.profile_out)
+        print(f"wrote metrics snapshot to {args.profile_out}")
+
     batched_speedup = serial_s / batched_s
     if args.min_speedup and batched_speedup < args.min_speedup:
         print(
@@ -190,6 +204,14 @@ def main(argv=None) -> int:
         "--min-speedup", type=float, default=2.0,
         help="fail when the batched scan is not this much faster than "
         "per-query serial scans (0 disables the gate)",
+    )
+    parser.add_argument(
+        "--explain-out",
+        help="write an EXPLAIN ANALYZE report of the first query here",
+    )
+    parser.add_argument(
+        "--profile-out",
+        help="write a JSON metrics snapshot (profile counters included) here",
     )
     return run(parser.parse_args(argv))
 

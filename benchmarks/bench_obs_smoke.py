@@ -13,6 +13,7 @@ import pytest
 
 from repro.core.query import parse_query
 from repro.obs.metrics import get_registry
+from repro.obs.timeline import utilization_summary
 from repro.obs.tracing import SpanTracer, validate_chrome_trace
 from repro.system.mithrilog import MithriLogSystem
 
@@ -50,8 +51,20 @@ def test_obs_smoke_spans(benchmark, traced_run, metrics_out_dir):
         report.elapsed_s
     )
     if metrics_out_dir is not None:
-        path = system.tracer.write_chrome_trace(metrics_out_dir / "trace.json")
+        path = system.tracer.write_chrome_trace(
+            metrics_out_dir / "trace.json", utilization=True
+        )
         assert validate_chrome_trace(path) >= 5
+
+
+def test_obs_smoke_utilization(traced_run):
+    system, report, outcome = traced_run
+    trace = system.tracer.to_chrome_trace(utilization=True)
+    counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+    assert counters, "utilization export must carry counter tracks"
+    assert all(e["name"].startswith("util:") for e in counters)
+    summary = utilization_summary(system.tracer.spans)
+    assert summary and all(0.0 <= v <= 1.0 for v in summary.values())
 
 
 def test_obs_smoke_metrics(traced_run):

@@ -8,6 +8,8 @@ The workflows a downstream user needs, without writing Python::
     python -m repro templates --log my.log --top 10
     python -m repro stats    --store ./store --format prometheus
     python -m repro trace    --store ./store 'KERNEL' --out trace.json
+    python -m repro explain  --store ./store 'KERNEL' --analyze
+    python -m repro watch-perf BENCH_hotpath.json fresh.json
     python -m repro compress --log my.log
 
 Every command prints a short human-readable report; ``query`` also
@@ -111,6 +113,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         limit=args.stop_after,
         newest_first=args.newest_first,
         workers=args.workers,
+        analyze=args.analyze,
     )
     stats = outcome.stats
     log.info(
@@ -134,6 +137,27 @@ def _cmd_query(args: argparse.Namespace) -> int:
     hidden = len(outcome.matched_lines) - args.limit
     if hidden > 0:
         log.info(f"... {hidden:,} more (raise --limit to see them)")
+    if outcome.explain is not None:
+        print(outcome.explain.render())
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    system = load_store(args.store, seed=args.seed)
+    query = parse_query(args.expression)
+    report = system.explain(
+        query,
+        use_index=not args.no_index,
+        analyze=args.analyze,
+        workers=args.workers,
+    )
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render())
+    if args.out is not None:
+        report.write(args.out)
+        log.info(f"explain report written to {args.out}")
     return 0
 
 
@@ -204,6 +228,16 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     log.info(f"  flash pages total: {system.device.flash.pages_written}")
     log.info(f"  index memory: {system.index.memory_footprint_bytes() / 1024:.0f} KiB")
     log.info(f"  snapshots: {len(system.index.snapshots.snapshots)}")
+
+    def _rate(value: Optional[float]) -> str:
+        return f"{value / 1e9:.2f} GB/s" if value else "unknown"
+
+    # the per-stage accelerator capability measured at ingest (and
+    # persisted with the store) — the rates the scan-time model charges
+    log.info("  accelerator rates:")
+    log.info(f"    filter pipelines: {_rate(system._pipeline_rate)}")
+    log.info(f"    decompressor: {_rate(system._decompressor_rate)}")
+    log.info(f"    effective (min of both): {_rate(system._accelerator_rate)}")
     return 0
 
 
@@ -212,7 +246,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     system.tracer = SpanTracer(clock=system.clock)
     query = parse_query(args.expression)
     outcome = system.query(query, use_index=not args.no_index)
-    path = system.tracer.write_chrome_trace(args.out)
+    path = system.tracer.write_chrome_trace(
+        args.out, utilization=args.utilization
+    )
     spans = validate_chrome_trace(path)
     log.info(
         f"wrote {spans} spans to {path} "
@@ -221,6 +257,19 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     )
     log.info("open it at https://ui.perfetto.dev or chrome://tracing")
     return 0
+
+
+def _cmd_watch_perf(args: argparse.Namespace) -> int:
+    from repro.obs.watch import main as watch_main
+
+    argv = list(args.files) + ["--metric", args.metric]
+    if args.tolerance is not None:
+        argv += ["--tolerance", str(args.tolerance)]
+    if args.min_runs is not None:
+        argv += ["--min-runs", str(args.min_runs)]
+    if args.as_json:
+        argv.append("--json")
+    return watch_main(argv)
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
@@ -304,11 +353,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the planner's decision instead of executing",
     )
     p.add_argument(
+        "--analyze", action="store_true",
+        help="attach an EXPLAIN ANALYZE report to the results",
+    )
+    p.add_argument(
         "--workers", type=int, default=1,
         help="parallelise the scan over this many processes "
         "(results are identical at any worker count)",
     )
     p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser(
+        "explain",
+        help="show a query's plan tree (EXPLAIN / EXPLAIN ANALYZE)",
+    )
+    p.add_argument("--store", required=True)
+    p.add_argument("expression", help='e.g. \'"Failed" AND NOT "pbs_mom:"\'')
+    p.add_argument(
+        "--analyze", action="store_true",
+        help="execute the query and report actual times, utilization "
+        "and the bottleneck (plain EXPLAIN touches no storage)",
+    )
+    p.add_argument("--no-index", action="store_true", help="force a full scan")
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the analyzed scan (the report's "
+        "canonical content is identical at any worker count)",
+    )
+    p.add_argument(
+        "--format", choices=("tree", "json"), default="tree",
+        help="human plan tree or the full JSON report",
+    )
+    p.add_argument("--out", help="also write the JSON report to this file")
+    p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser("tag", help="tag a log's lines with FT-tree template ids")
     p.add_argument("--log", required=True)
@@ -338,7 +415,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("expression", help='e.g. \'"Failed" AND NOT "pbs_mom:"\'')
     p.add_argument("--out", default="trace.json", help="trace file to write")
     p.add_argument("--no-index", action="store_true", help="force a full scan")
+    p.add_argument(
+        "--utilization", action="store_true",
+        help="also export per-resource occupancy counter tracks",
+    )
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "watch-perf",
+        help="fail when a benchmark trajectory file shows a perf regression",
+    )
+    p.add_argument(
+        "files", nargs="+",
+        help="trajectory JSON files (concatenated in order, e.g. the "
+        "committed baseline plus a fresh run's artifact)",
+    )
+    p.add_argument("--metric", default="speedup")
+    p.add_argument("--tolerance", type=float, default=None)
+    p.add_argument("--min-runs", type=int, default=None)
+    p.add_argument("--json", action="store_true", dest="as_json")
+    p.set_defaults(func=_cmd_watch_perf)
 
     p = sub.add_parser("compress", help="Table 5 codec comparison on a log file")
     p.add_argument("--log", required=True)

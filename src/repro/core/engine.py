@@ -136,6 +136,24 @@ class TokenFilterEngine:
     def queries(self) -> tuple[Query, ...]:
         return self._queries
 
+    def program_summary(self) -> dict:
+        """Shape of the compiled program, for EXPLAIN reports.
+
+        Deterministic in ``(queries, params, seed)``: the same inputs
+        compile to the same mode and term counts, so the summary is safe
+        inside golden-file plan comparisons.
+        """
+        self._require_compiled()
+        isets = [iset for q in self._queries for iset in q.intersections]
+        return {
+            "queries": len(self._queries),
+            "intersection_sets": len(isets),
+            "positive_terms": sum(len(i.positives) for i in isets),
+            "negative_terms": sum(len(i.negatives) for i in isets),
+            "mode": "hardware" if self._program is not None else "software",
+            "pipelines": self.num_pipelines,
+        }
+
     def _require_compiled(self) -> None:
         if not self._queries:
             raise QueryError("no query compiled; call compile() first")

@@ -24,6 +24,7 @@ reproduces exactly.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Optional, Sequence
@@ -33,6 +34,13 @@ from repro.core.query import Query
 from repro.core.tokenizer import tokenize_page
 from repro.errors import QueryError
 from repro.obs.metrics import get_registry
+from repro.obs.profile import (
+    PartitionProfile,
+    ProfileBuilder,
+    StageProfile,
+    merge_into_registry,
+    merge_profiles,
+)
 from repro.params import CuckooParams, LZAHParams
 
 
@@ -55,12 +63,23 @@ class ScanProgramSpec:
 
 @dataclass(frozen=True)
 class ScanAggregate:
-    """What one scan produced, in the units the system's stats need."""
+    """What one scan produced, in the units the system's stats need.
+
+    ``partitions`` carries one :class:`~repro.obs.profile
+    .PartitionProfile` per executed partition (a single record on the
+    inline path), in page order — the per-partition view the parent
+    turns into trace spans. ``profile`` is their stage-wise merge.
+    """
 
     data: bytes  #: concatenated per-page FILTER output (kept lines)
     bytes_decompressed: int
     lines_seen: int
     lines_kept: int
+    partitions: tuple[PartitionProfile, ...] = ()
+    profile: tuple[tuple[str, StageProfile], ...] = ()
+
+    def profile_dict(self) -> dict[str, StageProfile]:
+        return dict(self.profile)
 
 
 #: Per-process memo of compiled filter programs, keyed by the hashable
@@ -74,14 +93,17 @@ _CODEC_MEMO: dict = {}
 
 def _partition_kernel(
     spec: ScanProgramSpec, items: Sequence[tuple[bool, bytes]]
-) -> tuple[bytes, int, int, int]:
+) -> tuple[bytes, int, int, int, tuple[tuple[str, StageProfile], ...]]:
     """Scan one contiguous partition of pages.
 
     ``items`` holds ``(is_decoded, payload)`` pairs in page order: cache
     hits arrive already decoded, misses arrive compressed and are decoded
     here (this is the work the fan-out parallelises). Returns
-    ``(data, bytes_decompressed, lines_seen, lines_kept)`` with ``data``
-    byte-identical to the device FILTER path's per-page output.
+    ``(data, bytes_decompressed, lines_seen, lines_kept, profile)`` with
+    ``data`` byte-identical to the device FILTER path's per-page output
+    and ``profile`` the partition's per-stage host accounting — the
+    record that makes subprocess work visible to the parent's registry
+    and tracer (pool workers' own metrics die with the pool).
 
     Module-level and argument-picklable so it runs identically inline
     (``workers=1``) and in a pool worker.
@@ -107,15 +129,25 @@ def _partition_kernel(
         verdict_fn = HashFilter(program).evaluate_token_lists
     queries = spec.queries
 
+    profile = ProfileBuilder()
+    clock = time.perf_counter
     out_chunks: list[bytes] = []
     bytes_decompressed = 0
     lines_seen = 0
     lines_kept = 0
     for is_decoded, payload in items:
-        text = payload if is_decoded else decode(payload)
+        if is_decoded:
+            text = payload  # cache hit: the decode was skipped upstream
+        else:
+            t0 = clock()
+            text = decode(payload)
+            profile.add("decompress", units=len(text), wall_s=clock() - t0)
         bytes_decompressed += len(text)
+        t0 = clock()
         raw_lines, token_lists = tokenize_page(text)
+        profile.add("tokenize", units=len(raw_lines), wall_s=clock() - t0)
         lines_seen += len(raw_lines)
+        t0 = clock()
         if verdict_fn is not None:
             verdicts = verdict_fn(token_lists)
             kept = [
@@ -129,9 +161,16 @@ def _partition_kernel(
                 for line, tokens in zip(raw_lines, token_lists)
                 if any(q.matches_tokens(tokens) for q in queries)
             ]
+        profile.add("filter", units=len(raw_lines), wall_s=clock() - t0)
         lines_kept += len(kept)
         out_chunks.append(b"\n".join(kept) + (b"\n" if kept else b""))
-    return b"".join(out_chunks), bytes_decompressed, lines_seen, lines_kept
+    return (
+        b"".join(out_chunks),
+        bytes_decompressed,
+        lines_seen,
+        lines_kept,
+        profile.build_items(),
+    )
 
 
 class ScanExecutor:
@@ -195,12 +234,25 @@ class ScanExecutor:
         if self.workers == 1 or len(items) <= 1:
             if self._m_partitions is not None:
                 self._m_partitions.inc(mode="inline")
-            data, decompressed, seen, kept = _partition_kernel(spec, items)
+            data, decompressed, seen, kept, stages = _partition_kernel(
+                spec, items
+            )
+            record = PartitionProfile(
+                index=0,
+                pages=len(items),
+                bytes_decompressed=decompressed,
+                lines_seen=seen,
+                lines_kept=kept,
+                stages=stages,
+            )
+            merge_into_registry(dict(stages))
             return ScanAggregate(
                 data=data,
                 bytes_decompressed=decompressed,
                 lines_seen=seen,
                 lines_kept=kept,
+                partitions=(record,),
+                profile=stages,
             )
         pool = self._ensure_pool()
         partitions = _partition_slices(len(items), self.workers)
@@ -211,20 +263,38 @@ class ScanExecutor:
         if self._m_partitions is not None:
             self._m_partitions.inc(len(futures), mode="pool")
         chunks: list[bytes] = []
+        records: list[PartitionProfile] = []
         bytes_decompressed = 0
         lines_seen = 0
         lines_kept = 0
-        for future in futures:  # in partition order — not completion order
-            data, decompressed, seen, kept = future.result()
+        for index, future in enumerate(futures):  # partition order
+            data, decompressed, seen, kept, stages = future.result()
             chunks.append(data)
+            start, stop = partitions[index]
+            records.append(
+                PartitionProfile(
+                    index=index,
+                    pages=stop - start,
+                    bytes_decompressed=decompressed,
+                    lines_seen=seen,
+                    lines_kept=kept,
+                    stages=stages,
+                )
+            )
             bytes_decompressed += decompressed
             lines_seen += seen
             lines_kept += kept
+        merged = merge_profiles(r.stage_dict() for r in records)
+        # the workers' registries died with their processes; fold their
+        # accounting into the parent's here, where it is actually scraped
+        merge_into_registry(merged)
         return ScanAggregate(
             data=b"".join(chunks),
             bytes_decompressed=bytes_decompressed,
             lines_seen=lines_seen,
             lines_kept=lines_kept,
+            partitions=tuple(records),
+            profile=tuple(sorted(merged.items())),
         )
 
 

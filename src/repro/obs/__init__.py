@@ -1,7 +1,8 @@
-"""Observability: metrics, sim-clock tracing, exposition, logging.
+"""Observability: metrics, tracing, profiling, EXPLAIN, exposition.
 
 The telemetry layer the ROADMAP's "production-scale system" needs before
-any further performance work can be measured honestly. Four modules:
+any further performance work can be measured honestly — plus the
+interpretation layer on top of it:
 
 - :mod:`repro.obs.metrics` — labeled, thread-safe counters / gauges /
   histograms behind a default-on but nullable process-wide registry.
@@ -11,14 +12,32 @@ any further performance work can be measured honestly. Four modules:
   (and wall time), exported as Chrome trace-event JSON so a query's
   index-lookup → flash-read → decompress → filter → host-transfer
   pipeline opens directly in Perfetto.
+- :mod:`repro.obs.profile` — deterministic host-side stage profiling
+  (calls / units / wall seconds) that survives the process-pool
+  boundary, and the :class:`~repro.obs.profile.TraceContext` threaded
+  through shards and scan partitions.
+- :mod:`repro.obs.timeline` — per-resource utilization series derived
+  from span data, exported as Chrome counter tracks.
+- :mod:`repro.obs.explain` — query plan trees with estimated vs actual
+  values, bottleneck attribution and per-stage utilization (EXPLAIN /
+  EXPLAIN ANALYZE).
+- :mod:`repro.obs.watch` — the perf-regression watchdog over benchmark
+  trajectory files (``python -m repro watch-perf``).
 - :mod:`repro.obs.expose` — Prometheus text format and JSON snapshot
   dumps, plus the canonical metric-family bootstrap.
 - :mod:`repro.obs.log` — the structured leveled logger the CLI uses
   instead of bare ``print``.
 
-See ``docs/OBSERVABILITY.md`` for the full tour.
+See ``docs/OBSERVABILITY.md`` and ``docs/EXPLAIN.md`` for the full tour.
 """
 
+from repro.obs.explain import (
+    ExplainError,
+    ExplainReport,
+    PlanNode,
+    build_explain,
+    validate_explain_report,
+)
 from repro.obs.expose import (
     bootstrap_families,
     render_prometheus,
@@ -38,27 +57,56 @@ from repro.obs.metrics import (
     set_registry,
     use_registry,
 )
+from repro.obs.profile import (
+    PartitionProfile,
+    ProfileBuilder,
+    StageProfile,
+    TraceContext,
+    merge_profiles,
+    profile_to_dict,
+)
+from repro.obs.timeline import (
+    busy_fraction,
+    chrome_counter_events,
+    occupancy_series,
+    utilization_summary,
+)
 from repro.obs.tracing import Span, SpanTracer, TraceError, validate_chrome_trace
 
 __all__ = [
     "Counter",
+    "ExplainError",
+    "ExplainReport",
     "Gauge",
     "Histogram",
     "Logger",
     "MetricError",
     "MetricsRegistry",
+    "PartitionProfile",
+    "PlanNode",
+    "ProfileBuilder",
     "Span",
     "SpanTracer",
+    "StageProfile",
+    "TraceContext",
     "TraceError",
     "bootstrap_families",
+    "build_explain",
+    "busy_fraction",
+    "chrome_counter_events",
     "disable",
     "enable",
     "get_logger",
     "get_registry",
+    "merge_profiles",
+    "occupancy_series",
+    "profile_to_dict",
     "render_prometheus",
     "set_registry",
     "snapshot",
     "use_registry",
+    "utilization_summary",
     "validate_chrome_trace",
+    "validate_explain_report",
     "write_snapshot",
 ]

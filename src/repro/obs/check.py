@@ -4,10 +4,15 @@ The CI observability job runs a smoke benchmark that writes a Prometheus
 snapshot and a Chrome trace, then runs this module over the artifacts.
 It exits non-zero when
 
-- a trace file is missing, malformed, or contains no duration events,
+- a trace file is missing, malformed, contains no duration events, or
+  carries overlapping utilization counter samples on one track,
 - a ``.prom`` snapshot is missing any of the canonical metric families
-  (storage, pipeline, index, WAL, faults, scan executor/cache),
-- a ``.json`` metrics snapshot is not a valid snapshot object.
+  (storage, pipeline, index, WAL, faults, scan executor/cache,
+  explain/profile/utilization),
+- a ``.json`` metrics snapshot is not a valid snapshot object,
+- a ``.json`` explain report fails :func:`repro.obs.explain
+  .validate_explain_report` (malformed plan tree, bottleneck
+  attribution not summing to the scan time).
 
 Keeping the validator in the library (rather than a shell one-liner in
 the workflow) makes the failure mode testable.
@@ -20,6 +25,11 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.obs.explain import (
+    ExplainError,
+    looks_like_explain,
+    validate_explain_report,
+)
 from repro.obs.log import get_logger
 from repro.obs.tracing import TraceError, validate_chrome_trace
 
@@ -31,6 +41,9 @@ REQUIRED_FAMILY_PREFIXES = (
     "mithrilog_wal_",
     "mithrilog_faults_",
     "mithrilog_scan_",
+    "mithrilog_explain_",
+    "mithrilog_util_",
+    "mithrilog_profile_",
 )
 
 LOG = get_logger("repro.obs.check")
@@ -62,8 +75,18 @@ def check_file(path: Path) -> Optional[str]:
                 return f"{path}: {exc}"
             LOG.debug("trace ok", path=str(path), duration_events=events)
             return None
+        if looks_like_explain(payload):
+            try:
+                nodes = validate_explain_report(payload)
+            except ExplainError as exc:
+                return f"{path}: {exc}"
+            LOG.debug("explain ok", path=str(path), plan_nodes=nodes)
+            return None
         if "metrics" not in payload:
-            return f"{path}: neither a Chrome trace nor a metrics snapshot"
+            return (
+                f"{path}: not a Chrome trace, metrics snapshot, or "
+                "explain report"
+            )
         return None
     return f"{path}: unknown artifact type (expected .prom or .json)"
 

@@ -194,3 +194,28 @@ def bootstrap_families(registry: Optional[MetricsRegistry] = None) -> None:
         "mithrilog_scan_batch_queries",
         "Concurrent queries in the most recent scan batch",
     )
+    registry.counter(
+        "mithrilog_explain_requests_total",
+        "EXPLAIN reports built, by mode (estimate/analyze)",
+        labelnames=("mode",),
+    )
+    registry.gauge(
+        "mithrilog_util_busy_fraction",
+        "Per-resource busy fraction of the latest query's scan window",
+        labelnames=("resource",),
+    )
+    registry.counter(
+        "mithrilog_profile_calls_total",
+        "Host-side kernel invocations by scan stage",
+        labelnames=("stage",),
+    )
+    registry.counter(
+        "mithrilog_profile_units_total",
+        "Work units processed by scan stage (bytes or lines)",
+        labelnames=("stage",),
+    )
+    registry.counter(
+        "mithrilog_profile_wall_seconds_total",
+        "Measured host wall-clock by scan stage",
+        labelnames=("stage",),
+    )

@@ -152,12 +152,16 @@ class SpanTracer:
 
     # -- export ----------------------------------------------------------
 
-    def to_chrome_trace(self) -> dict[str, Any]:
+    def to_chrome_trace(self, utilization: bool = False) -> dict[str, Any]:
         """The spans as a Chrome trace-event JSON object.
 
         Simulated seconds map to trace microseconds (the unit Perfetto
         expects); wall-clock measurements ride along in each event's
-        ``args``.
+        ``args``. With ``utilization=True`` the export also carries
+        per-resource occupancy **counter tracks** (``util:flash``,
+        ``util:decompress``, ...) derived from the spans by
+        :mod:`repro.obs.timeline`, so Perfetto draws a busy/idle lane
+        under each resource's span row.
         """
         tracks = sorted({s.track for s in self.spans})
         tids = {track: i + 1 for i, track in enumerate(tracks)}
@@ -187,13 +191,21 @@ class SpanTracer:
                     "args": args,
                 }
             )
+        if utilization:
+            from repro.obs.timeline import chrome_counter_events
+
+            events.extend(chrome_counter_events(self.spans))
         return {"displayTimeUnit": "ms", "traceEvents": events}
 
-    def write_chrome_trace(self, path: Union[str, Path]) -> Path:
+    def write_chrome_trace(
+        self, path: Union[str, Path], utilization: bool = False
+    ) -> Path:
         """Serialise the Chrome trace to ``path``; returns the path."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_chrome_trace(), indent=1))
+        path.write_text(
+            json.dumps(self.to_chrome_trace(utilization=utilization), indent=1)
+        )
         return path
 
 
@@ -215,6 +227,7 @@ def validate_chrome_trace(trace: Union[dict, str, Path]) -> int:
     if not isinstance(events, list):
         raise TraceError("traceEvents must be a list")
     duration_events = 0
+    counter_ts: dict[tuple, float] = {}
     for event in events:
         if not isinstance(event, dict) or "ph" not in event or "name" not in event:
             raise TraceError(f"malformed trace event: {event!r}")
@@ -224,6 +237,20 @@ def validate_chrome_trace(trace: Union[dict, str, Path]) -> int:
             if event["dur"] < 0:
                 raise TraceError(f"negative duration in event: {event!r}")
             duration_events += 1
+        elif event["ph"] == "C":
+            # counter tracks (utilization lanes): samples on one track
+            # must advance strictly — two samples at one instant render
+            # nondeterministically and always mean a bad merge upstream
+            if "ts" not in event:
+                raise TraceError(f"counter event missing ts: {event!r}")
+            track = (event.get("pid"), event["name"])
+            previous = counter_ts.get(track)
+            if previous is not None and event["ts"] <= previous:
+                raise TraceError(
+                    f"overlapping counter samples on track {event['name']!r} "
+                    f"at ts={event['ts']}"
+                )
+            counter_ts[track] = event["ts"]
     if duration_events == 0:
         raise TraceError("trace contains no duration events")
     return duration_events

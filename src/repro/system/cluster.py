@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 from repro.core.query import Query
 from repro.errors import IngestError, QueryError, StorageError
 from repro.obs.metrics import get_registry
+from repro.obs.profile import TraceContext
 from repro.params import SystemParams
 from repro.system.mithrilog import IngestReport, MithriLogSystem, QueryOutcome
 
@@ -115,6 +116,23 @@ class ClusterQueryOutcome:
             return 0.0
         return original_bytes / self.elapsed_s
 
+    @property
+    def profile(self) -> dict[str, dict[str, int]]:
+        """Cluster-wide per-stage scan counts, summed over shards.
+
+        Each shard's :attr:`QueryStats.profile
+        <repro.system.mithrilog.QueryStats.profile>` carries the
+        deterministic calls/units synthesis; the merge is a plain sum,
+        so the cluster view is as worker-count-invariant as the shards'.
+        """
+        merged: dict[str, dict[str, int]] = {}
+        for outcome in self.per_shard:
+            for stage, entry in outcome.stats.profile.items():
+                into = merged.setdefault(stage, {"calls": 0, "units": 0})
+                into["calls"] += entry.get("calls", 0)
+                into["units"] += entry.get("units", 0)
+        return merged
+
 
 class MithriLogCluster:
     """N accelerated storage devices behind one ingest/query interface."""
@@ -132,6 +150,8 @@ class MithriLogCluster:
             MithriLogSystem(params, seed=seed + i) for i in range(num_shards)
         ]
         self.fault_injector = fault_injector
+        #: Monotonic scatter-gather counter, minting cluster trace ids.
+        self._query_seq = 0
         registry = get_registry()
         if registry is not None:
             self._m_shard_latency = registry.histogram(
@@ -207,9 +227,15 @@ class MithriLogCluster:
         comes back explicitly degraded, with the healthy shards' matches
         intact. ``workers`` is handed to each shard's scan executor
         (see :meth:`repro.system.mithrilog.MithriLogSystem.query`).
+
+        Every shard runs under one cluster trace context (``cq<n>``)
+        with its shard index as a coordinate, so spans from one
+        scatter-gather stay correlated across the shards' tracers.
         """
         if not queries:
             raise QueryError("query() needs at least one query")
+        self._query_seq += 1
+        context = TraceContext(trace_id=f"cq{self._query_seq}")
         per_shard = []
         matched: list[bytes] = []
         counts = [0] * len(queries)
@@ -221,7 +247,8 @@ class MithriLogCluster:
                 if self.fault_injector is not None:
                     self.fault_injector.on_query(index)
                 outcome = shard.query(
-                    *queries, use_index=use_index, workers=workers
+                    *queries, use_index=use_index, workers=workers,
+                    trace_context=context.child(shard=index),
                 )
             except StorageError as exc:
                 shard_errors.append(

@@ -27,7 +27,14 @@ from repro.exec.cache import DEFAULT_CACHE_PAGES, PageCache
 from repro.exec.executor import ScanExecutor, ScanProgramSpec
 from repro.hw.perf import PipelineCycleModel, measure_tokenized_stats
 from repro.index.inverted import InvertedIndex
+from repro.obs.explain import ExplainReport, build_explain
 from repro.obs.metrics import get_registry
+from repro.obs.profile import (
+    ProfileBuilder,
+    TraceContext,
+    merge_into_registry,
+    profile_to_dict,
+)
 from repro.obs.tracing import SpanTracer
 from repro.params import PROTOTYPE, SystemParams
 from repro.sim.clock import SimClock
@@ -134,6 +141,16 @@ class QueryStats:
     decompress_time_s: float = 0.0
     filter_time_s: float = 0.0
     host_time_s: float = 0.0
+    cache_hits: int = 0  #: decompressed-page cache hits during this query
+    cache_misses: int = 0
+    partitions: int = 1  #: scan partitions executed (1 on the serial path)
+    #: deterministic per-stage ``{"calls", "units"}`` counts, synthesized
+    #: from the page/byte accounting — identical at any worker count.
+    profile: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: measured host wall-clock per stage (``calls``/``units``/``wall_s``),
+    #: aggregated across pool workers — a real observation, varies run
+    #: to run and cold vs warm cache.
+    host_profile: dict[str, dict[str, float]] = field(default_factory=dict)
 
     @property
     def elapsed_s(self) -> float:
@@ -179,6 +196,9 @@ class QueryOutcome:
     matched_lines: list[bytes]
     per_query_counts: list[int]
     stats: QueryStats
+    #: EXPLAIN ANALYZE report, attached when the query ran with
+    #: ``analyze=True``.
+    explain: Optional[ExplainReport] = None
 
     def effective_throughput(self, original_bytes: int) -> float:
         """The paper's metric: original dataset size / elapsed time."""
@@ -245,6 +265,8 @@ class MithriLogSystem:
         self.clock = SimClock()
         #: Optional span tracer; assign one at any time to start tracing.
         self.tracer = tracer
+        #: Monotonic query counter, minting trace ids (``q1``, ``q2``, ...).
+        self._query_seq = 0
         registry = get_registry()
         if registry is not None:
             self._m_queries = registry.counter(
@@ -273,6 +295,16 @@ class MithriLogSystem:
                 "mithrilog_scan_batch_queries",
                 "Concurrent queries in the most recent scan batch",
             )
+            self._m_explain = registry.counter(
+                "mithrilog_explain_requests_total",
+                "EXPLAIN reports built, by mode (estimate/analyze)",
+                labelnames=("mode",),
+            )
+            self._m_util = registry.gauge(
+                "mithrilog_util_busy_fraction",
+                "Per-resource busy fraction of the latest query's scan window",
+                labelnames=("resource",),
+            )
         else:
             self._m_queries = None
             self._m_query_seconds = None
@@ -281,6 +313,8 @@ class MithriLogSystem:
             self._m_ingest_compressed = None
             self._m_scan_workers = None
             self._m_batch_queries = None
+            self._m_explain = None
+            self._m_util = None
 
     # ------------------------------------------------------------------
     # Ingest
@@ -431,6 +465,8 @@ class MithriLogSystem:
         limit: Optional[int] = None,
         newest_first: bool = False,
         workers: int = 1,
+        analyze: bool = False,
+        trace_context: Optional[TraceContext] = None,
     ) -> QueryOutcome:
         """Run one or more concurrent queries end to end.
 
@@ -449,19 +485,36 @@ class MithriLogSystem:
         wall-clock changes; ``workers=1`` (the default) runs fully
         in-process. A ``limit`` forces the in-process path, because
         early cancellation is inherently sequential.
+
+        ``analyze=True`` runs EXPLAIN ANALYZE alongside: the cost-based
+        planner's estimates are captured before execution, and the
+        returned outcome carries an :class:`~repro.obs.explain
+        .ExplainReport` comparing them against what actually happened.
+
+        ``trace_context`` threads an existing trace id through (a cluster
+        scatter-gather passes per-shard children); left ``None``, the
+        system mints a fresh ``q<n>`` id for the query's spans.
         """
         if not queries:
             raise QueryError("query() needs at least one query")
         if workers < 1:
             raise QueryError("workers must be at least 1")
+        self._query_seq += 1
+        context = (
+            trace_context
+            if trace_context is not None
+            else TraceContext(trace_id=f"q{self._query_seq}")
+        )
+        plan = None
+        if analyze:
+            plan = self._plan_for(queries)
         offloaded = self.engine.compile(*queries)
         stats = QueryStats(offloaded=offloaded, total_pages=self.index.total_data_pages)
 
         if use_index:
-            union = queries[0]
-            for extra in queries[1:]:
-                union = union | extra
-            lookup = self.index.candidate_pages(union, time_range=time_range)
+            lookup = self.index.candidate_pages(
+                self._union(queries), time_range=time_range
+            )
             candidates = list(lookup.pages)
             stats.index_root_visits = lookup.stats.root_visits
             stats.index_tokens_looked_up = lookup.stats.tokens_looked_up
@@ -478,17 +531,33 @@ class MithriLogSystem:
             self._m_scan_workers.set(workers)
             self._m_batch_queries.set(len(queries))
 
+        hits_before = self.page_cache.hits
+        misses_before = self.page_cache.misses
+        partitions = ()
         if workers > 1 and limit is None:
-            read = self._scan_with_executor(candidates, queries, workers)
+            read, aggregate = self._scan_with_executor(
+                candidates, queries, workers
+            )
+            partitions = aggregate.partitions
+            stats.partitions = max(1, len(partitions))
+            stats.host_profile = profile_to_dict(aggregate.profile_dict())
         else:
+            host = ProfileBuilder()
             self.device.configure(
                 decompress_page=self.codec.decompress,
-                decompress_page_at=self._cached_decompress,
-                line_filter=self.engine.keep_line,
+                decompress_page_at=host.wrap(
+                    "decompress", self._cached_decompress, units_of=len
+                ),
+                line_filter=host.wrap("filter", self.engine.keep_line),
             )
             read = self.device.read(
                 candidates, mode=ReadMode.FILTER, stop_after_matches=limit
             )
+            serial_profile = host.build()
+            merge_into_registry(serial_profile)
+            stats.host_profile = profile_to_dict(serial_profile)
+        stats.cache_hits = self.page_cache.hits - hits_before
+        stats.cache_misses = self.page_cache.misses - misses_before
         stats.pages_read = read.pages_read
         stats.bytes_from_flash = read.bytes_from_flash
         stats.bytes_decompressed = read.bytes_decompressed
@@ -497,6 +566,8 @@ class MithriLogSystem:
         stats.lines_kept = read.lines_kept
         stats.read_retries = read.read_retries
         self._fill_scan_times(stats, read)
+        self._fill_profile(stats)
+        self._publish_utilization(stats)
 
         matched = read.data.splitlines()
         per_query = self._per_query_counts(matched, len(queries))
@@ -504,11 +575,90 @@ class MithriLogSystem:
             self._m_queries.inc(path="scan" if stats.index_full_scan else "index")
             self._m_query_seconds.observe(stats.elapsed_s)
         if self.tracer is not None:
-            self._trace_query(stats, len(matched), per_query)
+            self._trace_query(
+                stats, len(matched), per_query, context=context,
+                partitions=partitions,
+            )
         self.clock.advance(stats.elapsed_s)
+        report = None
+        if analyze:
+            report = build_explain(
+                " OR ".join(str(q) for q in queries),
+                plan,
+                stats=stats,
+                matches=len(matched),
+                program=self.engine.program_summary(),
+                cache={
+                    "hits": stats.cache_hits, "misses": stats.cache_misses
+                },
+                host_profile=stats.host_profile,
+            )
+            if self._m_explain is not None:
+                self._m_explain.inc(mode="analyze")
         return QueryOutcome(
-            matched_lines=matched, per_query_counts=per_query, stats=stats
+            matched_lines=matched, per_query_counts=per_query, stats=stats,
+            explain=report,
         )
+
+    @staticmethod
+    def _union(queries: Sequence[Query]) -> Query:
+        union = queries[0]
+        for extra in queries[1:]:
+            union = union | extra
+        return union
+
+    def _plan_for(self, queries: Sequence[Query]):
+        """The cost-based plan over the union of a query batch.
+
+        Imported lazily: the planner module imports this one.
+        """
+        from repro.system.planner import QueryPlanner
+
+        return QueryPlanner(self).plan(self._union(queries))
+
+    def explain(
+        self,
+        *queries: Query,
+        use_index: bool = True,
+        time_range: Optional[tuple[Optional[float], Optional[float]]] = None,
+        limit: Optional[int] = None,
+        newest_first: bool = False,
+        workers: int = 1,
+        analyze: bool = False,
+    ) -> ExplainReport:
+        """EXPLAIN (or, with ``analyze=True``, EXPLAIN ANALYZE) a query.
+
+        Plain EXPLAIN touches no storage: it compiles the queries (the
+        program shape is part of the plan) and reports the cost-based
+        planner's path choice and estimates. ``analyze=True`` executes
+        the query exactly as :meth:`query` would — same index/limit/
+        worker semantics — and the report's ``actual`` values, bottleneck
+        attribution and per-stage utilization come from the run. The
+        report's canonical form is deterministic: identical at any
+        ``workers`` and with a cold or warm page cache.
+        """
+        if analyze:
+            return self.query(
+                *queries,
+                use_index=use_index,
+                time_range=time_range,
+                limit=limit,
+                newest_first=newest_first,
+                workers=workers,
+                analyze=True,
+            ).explain
+        if not queries:
+            raise QueryError("explain() needs at least one query")
+        plan = self._plan_for(queries)
+        self.engine.compile(*queries)
+        report = build_explain(
+            " OR ".join(str(q) for q in queries),
+            plan,
+            program=self.engine.program_summary(),
+        )
+        if self._m_explain is not None:
+            self._m_explain.inc(mode="estimate")
+        return report
 
     def _cached_decompress(self, address: int, payload: bytes) -> bytes:
         """Address-aware decompressor serving from the page cache."""
@@ -529,7 +679,7 @@ class MithriLogSystem:
 
     def _scan_with_executor(
         self, candidates: list[int], queries: tuple[Query, ...], workers: int
-    ) -> DeviceReadResult:
+    ):
         """The parallel scan: device-fetched pages, fanned-out filtering.
 
         Flash access (and with it fault injection, retries and read
@@ -538,7 +688,10 @@ class MithriLogSystem:
         cache skip the decode even in workers; the rest are decoded in
         the pool. The returned result carries the exact byte counts the
         serial path would, so :meth:`_fill_scan_times` produces the same
-        simulated stats at any worker count.
+        simulated stats at any worker count. Returns ``(read, aggregate)``
+        — the aggregate's per-partition profiles are the subprocess work
+        made visible to the parent (registry merge happens in the
+        executor; spans and ``host_profile`` happen here).
         """
         pages, retries = self.device.fetch_pages(
             candidates, count_mode=ReadMode.FILTER
@@ -563,7 +716,7 @@ class MithriLogSystem:
         )
         aggregate = self._scan_executor_for(workers).scan(spec, items)
         self.device.account_host_bytes(len(aggregate.data))
-        return DeviceReadResult(
+        read = DeviceReadResult(
             data=aggregate.data,
             pages_read=len(pages),
             bytes_from_flash=sum(len(p) for p in pages),
@@ -573,6 +726,7 @@ class MithriLogSystem:
             lines_kept=aggregate.lines_kept,
             read_retries=retries,
         )
+        return read, aggregate
 
     def _index_time(self, lookup_stats) -> float:
         """Traversal cost, delegated to the index strategy: storage hops
@@ -612,11 +766,48 @@ class MithriLogSystem:
             stats.host_time_s,
         )
 
+    def _fill_profile(self, stats: QueryStats) -> None:
+        """Synthesize the deterministic per-stage scan counts.
+
+        Derived from the page/byte accounting — which is identical on the
+        serial and executor paths — not from measuring either path, so
+        the counts match at any worker count. Decompress calls skip cache
+        hits (the decode was skipped); the decompressed text still flows
+        through tokenize and filter on every page.
+        """
+        decoded = stats.pages_read - stats.cache_hits
+        stats.profile = {
+            "decompress": {
+                "calls": decoded, "units": stats.bytes_decompressed
+            },
+            "tokenize": {"calls": stats.pages_read, "units": stats.lines_seen},
+            "filter": {"calls": stats.pages_read, "units": stats.lines_seen},
+        }
+
+    def _publish_utilization(self, stats: QueryStats) -> None:
+        """Set the per-resource busy-fraction gauges for this query.
+
+        The scan stages stream concurrently over one window
+        (``scan_time_s``), so each stage's utilization is its time over
+        the window — the bottleneck reads 1.0, everything else shows how
+        much slack it had (the Figure 14 shape).
+        """
+        if self._m_util is None or stats.scan_time_s <= 0:
+            return
+        for stage, stage_time in stats.breakdown.items():
+            if stage == "index":
+                continue
+            self._m_util.set(
+                stage_time / stats.scan_time_s, resource=stage
+            )
+
     def _trace_query(
         self,
         stats: QueryStats,
         matches: int,
         per_query: Optional[list[int]] = None,
+        context: Optional[TraceContext] = None,
+        partitions: Sequence = (),
     ) -> None:
         """Record the query's phase spans on the simulated timeline.
 
@@ -627,44 +818,68 @@ class MithriLogSystem:
         root span *per* query (``query[i]``, carrying that query's match
         count) over the shared stage spans, so per-query latency and
         selectivity stay attributable after batching.
+
+        Every span carries the query's trace-context tags (trace id,
+        shard/partition coordinates when set), so spans from one logical
+        query stay correlated across cluster shards and executor
+        partitions. Executor partitions additionally get their own
+        ``scan_partition[i]`` spans on a ``workers`` track, sized by each
+        partition's share of the decompress work.
         """
+        tags = context.tags() if context is not None else {}
         t0 = self.clock.now
         if per_query is not None and len(per_query) > 1:
             for i, count in enumerate(per_query):
                 self.tracer.record(
                     f"query[{i}]", t0, stats.elapsed_s, category="query",
                     track="query", pages=stats.pages_read, matches=count,
-                    batch_index=i, batch_size=len(per_query),
+                    batch_index=i, batch_size=len(per_query), **tags,
                 )
         else:
             self.tracer.record(
                 "query", t0, stats.elapsed_s, category="query", track="query",
-                pages=stats.pages_read, matches=matches,
+                pages=stats.pages_read, matches=matches, **tags,
             )
         self.tracer.record(
             "index_lookup", t0, stats.index_time_s, category="query",
             track="index", root_visits=stats.index_root_visits,
-            full_scan=stats.index_full_scan,
+            full_scan=stats.index_full_scan, **tags,
         )
         t1 = t0 + stats.index_time_s
         self.tracer.record(
             "flash_read", t1, stats.flash_time_s, category="query",
             track="flash", pages=stats.pages_read,
-            bytes=stats.bytes_from_flash,
+            bytes=stats.bytes_from_flash, **tags,
         )
         self.tracer.record(
             "decompress", t1, stats.decompress_time_s, category="query",
-            track="decompress", bytes=stats.bytes_decompressed,
+            track="decompress", bytes=stats.bytes_decompressed, **tags,
         )
         self.tracer.record(
             "filter", t1, stats.filter_time_s, category="query",
             track="filter", lines_seen=stats.lines_seen,
-            lines_kept=stats.lines_kept,
+            lines_kept=stats.lines_kept, **tags,
         )
         self.tracer.record(
             "host_transfer", t1, stats.host_time_s, category="query",
-            track="host", bytes=stats.bytes_to_host,
+            track="host", bytes=stats.bytes_to_host, **tags,
         )
+        if partitions:
+            rate = self._decompressor_rate or self._accelerator_rate
+            for record in partitions:
+                child = (
+                    context.child(partition=record.index)
+                    if context is not None
+                    else None
+                )
+                self.tracer.record(
+                    f"scan_partition[{record.index}]", t1,
+                    record.bytes_decompressed / rate if rate else 0.0,
+                    category="query", track="workers",
+                    pages=record.pages, lines_seen=record.lines_seen,
+                    lines_kept=record.lines_kept,
+                    **(child.tags() if child is not None else {}),
+                )
 
     def _per_query_counts(
         self, matched: list[bytes], num_queries: int
@@ -676,7 +891,9 @@ class MithriLogSystem:
 
     # -- convenience -----------------------------------------------------
 
-    def scan_all(self, *queries: Query, workers: int = 1) -> QueryOutcome:
+    def scan_all(
+        self, *queries: Query, workers: int = 1, analyze: bool = False
+    ) -> QueryOutcome:
         """Whole-store scan (the Section 7.4 token-filter experiments run
         with the index disabled).
 
@@ -684,7 +901,9 @@ class MithriLogSystem:
         paper's batched-query mode — and ``workers`` fans the scan out
         over a process pool (see :meth:`query`).
         """
-        return self.query(*queries, use_index=False, workers=workers)
+        return self.query(
+            *queries, use_index=False, workers=workers, analyze=analyze
+        )
 
     def close(self) -> None:
         """Release scan worker pools (idempotent; safe mid-lifecycle —

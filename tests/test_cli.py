@@ -98,6 +98,121 @@ class TestIngestAndQuery:
         assert "error:" in capsys.readouterr().err
 
 
+class TestExplainCommand:
+    def test_explain_tree_estimate(self, store, capsys):
+        code = main(["explain", "--store", str(store), "KERNEL AND INFO"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("EXPLAIN ")
+        assert "EXPLAIN ANALYZE" not in out
+        # estimate mode shows the access choice but no executed stages
+        for node in ("plan:", "index_lookup", "scan", "(est)"):
+            assert node in out
+        assert "flash_read" not in out
+
+    def test_explain_analyze_tree(self, store, capsys):
+        code = main(
+            ["explain", "--store", str(store), "--analyze", "KERNEL AND INFO"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN ANALYZE" in out
+        assert "bottleneck:" in out
+        assert "cache:" in out
+
+    def test_explain_json_validates(self, store, capsys):
+        import json as jsonlib
+
+        from repro.obs.explain import validate_explain_report
+
+        code = main(
+            ["explain", "--store", str(store), "--analyze",
+             "--format", "json", "KERNEL"]
+        )
+        assert code == 0
+        payload = jsonlib.loads(capsys.readouterr().out)
+        assert validate_explain_report(payload) >= 7
+
+    def test_explain_out_writes_artifact(self, store, tmp_path, capsys):
+        import json as jsonlib
+
+        out_path = tmp_path / "explain.json"
+        code = main(
+            ["explain", "--store", str(store), "--analyze",
+             "--out", str(out_path), "KERNEL"]
+        )
+        assert code == 0
+        payload = jsonlib.loads(out_path.read_text())
+        assert payload["mode"] == "analyze"
+
+    def test_query_analyze_appends_report(self, store, capsys):
+        code = main(["query", "--store", str(store), "--analyze", "KERNEL"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "matching lines" in out
+        assert "EXPLAIN ANALYZE" in out
+        assert "bottleneck:" in out
+
+    def test_stats_human_renders_accelerator_rates(self, store, capsys):
+        code = main(["stats", "--store", str(store)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accelerator rates:" in out
+        assert "filter pipelines:" in out
+        assert "GB/s" in out
+
+    def test_trace_utilization_counters(self, store, tmp_path):
+        import json as jsonlib
+
+        out_path = tmp_path / "trace.json"
+        code = main(
+            ["trace", "--store", str(store), "--utilization",
+             "--out", str(out_path), "KERNEL"]
+        )
+        assert code == 0
+        trace = jsonlib.loads(out_path.read_text())
+        counters = [e for e in trace["traceEvents"] if e.get("ph") == "C"]
+        assert counters and all(
+            e["name"].startswith("util:") for e in counters
+        )
+
+
+class TestWatchPerfCommand:
+    def write(self, path, records):
+        import json as jsonlib
+
+        path.write_text(jsonlib.dumps(records))
+        return str(path)
+
+    def test_pass_exits_zero(self, tmp_path):
+        path = self.write(
+            tmp_path / "t.json",
+            [{"bench": "b", "config": "c", "speedup": s} for s in (5.0, 5.1)],
+        )
+        assert main(["watch-perf", path]) == 0
+
+    def test_regression_exits_one(self, tmp_path):
+        path = self.write(
+            tmp_path / "t.json",
+            [{"bench": "b", "config": "c", "speedup": s} for s in (5.0, 3.0)],
+        )
+        assert main(["watch-perf", path]) == 1
+
+    def test_bad_file_exits_two(self, tmp_path):
+        assert main(["watch-perf", str(tmp_path / "nope.json")]) == 2
+
+    def test_json_flag(self, tmp_path, capsys):
+        import json as jsonlib
+
+        path = self.write(
+            tmp_path / "t.json",
+            [{"bench": "b", "config": "c", "speedup": s} for s in (5.0, 5.0)],
+        )
+        assert main(["watch-perf", path, "--json"]) == 0
+        verdict = jsonlib.loads(capsys.readouterr().out)
+        assert verdict["regressions"] == []
+
+
 class TestTagCommand:
     def test_tag_histogram(self, log_file, capsys):
         code = main(["tag", "--log", str(log_file), "--top", "4"])

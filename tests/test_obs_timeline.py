@@ -1,0 +1,207 @@
+"""Utilization timelines: occupancy series, counter tracks, gauges.
+
+The timeline module is a pure function of span data, so most tests run
+on hand-built spans with known busy intervals; the integration tests pin
+the end-to-end contract — a traced query exports counter tracks that the
+trace validator accepts, and publishes busy-fraction gauges whose
+bottleneck resource reads 1.0.
+"""
+
+import pytest
+
+from repro.core.query import parse_query
+from repro.datasets.synthetic import generator_for
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.timeline import (
+    busy_fraction,
+    busy_intervals,
+    chrome_counter_events,
+    occupancy_series,
+    trace_window,
+    utilization_summary,
+)
+from repro.obs.tracing import SpanTracer, TraceError, validate_chrome_trace
+from repro.system.mithrilog import MithriLogSystem
+
+SEED = 7
+
+
+def spans_from(*intervals):
+    """Build spans on given ``(track, start, duration)`` triples."""
+    tracer = SpanTracer()
+    for i, (track, start, duration) in enumerate(intervals):
+        tracer.record(f"s{i}", start, duration, track=track)
+    return tracer.spans
+
+
+class TestBusyIntervals:
+    def test_merges_overlapping_and_adjacent(self):
+        spans = spans_from(
+            ("flash", 0.0, 1.0), ("flash", 0.5, 1.0), ("flash", 1.5, 0.5),
+            ("flash", 3.0, 1.0),
+        )
+        assert busy_intervals(spans, "flash") == [(0.0, 2.0), (3.0, 4.0)]
+
+    def test_zero_duration_spans_contribute_nothing(self):
+        spans = spans_from(("flash", 1.0, 0.0))
+        assert busy_intervals(spans, "flash") == []
+
+    def test_other_tracks_excluded(self):
+        spans = spans_from(("flash", 0.0, 1.0), ("host", 0.0, 5.0))
+        assert busy_intervals(spans, "flash") == [(0.0, 1.0)]
+
+
+class TestBusyFraction:
+    def test_known_fraction_over_full_window(self):
+        # flash busy 1s of the 4s extent set by the host span
+        spans = spans_from(("flash", 0.0, 1.0), ("host", 0.0, 4.0))
+        assert busy_fraction(spans, "flash") == pytest.approx(0.25)
+        assert busy_fraction(spans, "host") == pytest.approx(1.0)
+
+    def test_explicit_window_clips(self):
+        spans = spans_from(("flash", 0.0, 2.0))
+        assert busy_fraction(spans, "flash", window=(1.0, 3.0)) == pytest.approx(0.5)
+
+    def test_empty_spans(self):
+        assert busy_fraction([], "flash") == 0.0
+        assert trace_window([]) is None
+
+
+class TestOccupancySeries:
+    def test_strictly_increasing_timestamps(self):
+        spans = spans_from(
+            ("query", 0.0, 2.0), ("query", 1.0, 2.0), ("query", 1.0, 0.5),
+        )
+        series = occupancy_series(spans, "query")
+        timestamps = [ts for ts, _ in series]
+        assert timestamps == sorted(set(timestamps))
+        assert series[0] == (0.0, 1)
+        assert series[-1][1] == 0  # back to idle at the end
+
+    def test_equal_levels_collapse(self):
+        # two abutting spans: occupancy stays 1 across the boundary, so
+        # the boundary emits no sample
+        spans = spans_from(("flash", 0.0, 1.0), ("flash", 1.0, 1.0))
+        assert occupancy_series(spans, "flash") == [(0.0, 1), (2.0, 0)]
+
+
+class TestChromeCounterEvents:
+    def test_tracks_named_and_strictly_increasing(self):
+        spans = spans_from(
+            ("flash", 0.0, 1.0), ("flash", 2.0, 1.0), ("host", 0.0, 4.0),
+        )
+        events = chrome_counter_events(spans)
+        assert events, "resource tracks must produce counter samples"
+        assert {e["name"] for e in events} == {"util:flash", "util:host"}
+        by_track: dict = {}
+        for event in events:
+            assert event["ph"] == "C"
+            previous = by_track.get(event["name"])
+            assert previous is None or event["ts"] > previous
+            by_track[event["name"]] = event["ts"]
+
+    def test_non_resource_tracks_excluded_by_default(self):
+        spans = spans_from(("query", 0.0, 1.0))
+        assert chrome_counter_events(spans) == []
+
+
+class TestValidatorCounterRules:
+    def base_trace(self):
+        return {
+            "traceEvents": [
+                {"ph": "X", "pid": 0, "tid": 1, "name": "q", "ts": 0, "dur": 5},
+            ]
+        }
+
+    def test_accepts_increasing_samples(self):
+        trace = self.base_trace()
+        trace["traceEvents"] += [
+            {"ph": "C", "pid": 0, "name": "util:flash", "ts": 0, "args": {"busy": 1}},
+            {"ph": "C", "pid": 0, "name": "util:flash", "ts": 5, "args": {"busy": 0}},
+        ]
+        assert validate_chrome_trace(trace) == 1
+
+    def test_rejects_overlapping_samples_on_one_track(self):
+        trace = self.base_trace()
+        trace["traceEvents"] += [
+            {"ph": "C", "pid": 0, "name": "util:flash", "ts": 5, "args": {"busy": 1}},
+            {"ph": "C", "pid": 0, "name": "util:flash", "ts": 5, "args": {"busy": 0}},
+        ]
+        with pytest.raises(TraceError, match="overlapping counter samples"):
+            validate_chrome_trace(trace)
+
+    def test_same_ts_on_distinct_tracks_is_fine(self):
+        trace = self.base_trace()
+        trace["traceEvents"] += [
+            {"ph": "C", "pid": 0, "name": "util:flash", "ts": 5, "args": {"busy": 1}},
+            {"ph": "C", "pid": 0, "name": "util:host", "ts": 5, "args": {"busy": 0}},
+            {"ph": "C", "pid": 1, "name": "util:flash", "ts": 5, "args": {"busy": 0}},
+        ]
+        assert validate_chrome_trace(trace) == 1
+
+    def test_counter_event_requires_ts(self):
+        trace = self.base_trace()
+        trace["traceEvents"].append(
+            {"ph": "C", "pid": 0, "name": "util:flash", "args": {"busy": 1}}
+        )
+        with pytest.raises(TraceError, match="missing ts"):
+            validate_chrome_trace(trace)
+
+
+@pytest.fixture(scope="module")
+def traced_query():
+    system = MithriLogSystem(seed=SEED)
+    system.tracer = SpanTracer(clock=system.clock)
+    system.ingest(list(generator_for("Liberty2", seed=SEED).iter_lines(2000)))
+    outcome = system.scan_all(parse_query("session"))
+    return system, outcome
+
+
+class TestEndToEnd:
+    def test_traced_query_exports_counter_tracks(self, traced_query):
+        system, _ = traced_query
+        trace = system.tracer.to_chrome_trace(utilization=True)
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        assert counters
+        assert validate_chrome_trace(trace) >= 5
+        # without the flag the export is unchanged from before
+        plain = system.tracer.to_chrome_trace()
+        assert not [e for e in plain["traceEvents"] if e["ph"] == "C"]
+
+    def test_write_chrome_trace_utilization(self, traced_query, tmp_path):
+        system, _ = traced_query
+        path = system.tracer.write_chrome_trace(
+            tmp_path / "util.json", utilization=True
+        )
+        assert validate_chrome_trace(path) >= 5
+
+    def test_utilization_summary_bottleneck_is_saturated(self, traced_query):
+        system, outcome = traced_query
+        query_spans = [
+            s for s in system.tracer.spans if s.category == "query"
+        ]
+        summary = utilization_summary(query_spans)
+        stats = outcome.stats
+        # each resource's busy fraction over the scan window matches the
+        # stage-time arithmetic (the window includes the index walk)
+        window = stats.elapsed_s
+        for stage in ("flash", "decompress", "filter", "host"):
+            expected = stats.breakdown[stage] / window
+            assert summary[stage] == pytest.approx(expected), stage
+
+    def test_busy_fraction_gauges_published(self):
+        with use_registry(MetricsRegistry()) as registry:
+            system = MithriLogSystem(seed=SEED)
+            system.ingest(
+                list(generator_for("Liberty2", seed=SEED).iter_lines(1500))
+            )
+            outcome = system.scan_all(parse_query("session"))
+            gauge = registry.gauge(
+                "mithrilog_util_busy_fraction", "", labelnames=("resource",)
+            )
+            stats = outcome.stats
+            bottleneck = stats.bottleneck
+            assert gauge.value(resource=bottleneck) == pytest.approx(1.0)
+            for stage in ("flash", "decompress", "filter", "host"):
+                expected = stats.breakdown[stage] / stats.scan_time_s
+                assert gauge.value(resource=stage) == pytest.approx(expected)

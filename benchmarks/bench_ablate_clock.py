@@ -8,12 +8,11 @@ binds the system — the quantitative version of the conclusion's claim
 that near-storage designs matter more as storage outpaces computation.
 """
 
-import pytest
 
 from repro.compression import LZAHCompressor, compression_ratio
 from repro.datasets.synthetic import generator_for
 from repro.hw.perf import EngineThroughputModel
-from repro.params import CLOCK_HZ, PipelineParams
+from repro.params import PipelineParams
 from repro.system.report import render_table
 
 CLOCKS_MHZ = (100, 200, 400, 800)
@@ -21,7 +20,7 @@ CLOCKS_MHZ = (100, 200, 400, 800)
 
 def _sweep():
     lines = generator_for("BGL2").generate(2500)
-    text = b"".join(l + b"\n" for l in lines)
+    text = b"".join(ln + b"\n" for ln in lines)
     ratio = compression_ratio(LZAHCompressor(), text)
     rows = {}
     for mhz in CLOCKS_MHZ:

@@ -8,7 +8,6 @@ a few percent for double the filter resources, because padding dominates
 the wider tokenized stream.
 """
 
-import pytest
 
 from repro.hw.perf import PipelineCycleModel, measure_tokenized_stats
 from repro.hw.resources import DECOMPRESSOR, HASH_FILTER, TOKENIZER

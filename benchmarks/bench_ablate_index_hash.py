@@ -8,9 +8,7 @@ the tokens colliding with them — the paper's stated reason for the
 second hash function.
 """
 
-import pytest
 
-from repro.core.query import Query
 from repro.index.inverted import InvertedIndex
 from repro.params import IndexParams, StorageParams
 from repro.storage.flash import FlashArray

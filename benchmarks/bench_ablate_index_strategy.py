@@ -14,7 +14,6 @@ this bench quantifies:
   that grows linearly with the store).
 """
 
-import pytest
 
 from repro.core.query import parse_query
 from repro.core.tokenizer import split_tokens
@@ -37,7 +36,7 @@ def _build_both(lines, page_lines=12, hash_rows=1 << 12, bloom_bits=2048):
     pages = {}
     for addr in range(len(lines) // page_lines):
         chunk = lines[addr * page_lines : (addr + 1) * page_lines]
-        pages[addr] = [t for l in chunk for t in split_tokens(l)]
+        pages[addr] = [t for ln in chunk for t in split_tokens(ln)]
     inverted = InvertedIndex(
         FlashArray(StorageParams(capacity_pages=1 << 18)),
         params=IndexParams(hash_rows=hash_rows),
@@ -63,8 +62,8 @@ def test_ablate_index_strategy(benchmark, capsys):
                 1
                 for addr in pages
                 if any(
-                    query.matches_line(l)
-                    for l in lines[addr * 12 : (addr + 1) * 12]
+                    query.matches_line(ln)
+                    for ln in lines[addr * 12 : (addr + 1) * 12]
                 )
             )
             rows.append([expr, truly, inv_pages, bloom_pages])
@@ -116,8 +115,8 @@ def test_ablate_index_strategy_tight_budgets(benchmark, capsys):
                 1
                 for addr in pages
                 if any(
-                    query.matches_line(l)
-                    for l in lines[addr * 12 : (addr + 1) * 12]
+                    query.matches_line(ln)
+                    for ln in lines[addr * 12 : (addr + 1) * 12]
                 )
             )
             rows.append(

@@ -6,7 +6,6 @@ newline. Turning that single rule off collapses the compression ratio,
 which is the whole justification for the special newline datapath.
 """
 
-import pytest
 
 from conftest import DATASETS
 from repro.compression.lzah import LZAHCompressor

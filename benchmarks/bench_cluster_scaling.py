@@ -7,7 +7,6 @@ aggregate effective throughput — near-linear until per-shard fixed
 latency dominates.
 """
 
-import pytest
 
 from repro.core.query import parse_query
 from repro.datasets.synthetic import generator_for

@@ -9,7 +9,6 @@ batch of 8 collapses to ~1/8th of serial execution while per-query
 results stay identical.
 """
 
-import pytest
 
 from repro.core.query import Query
 from repro.system.scheduler import QueryScheduler

@@ -7,7 +7,6 @@ tokenized datapath is useful data" — drove the two-hash-filter design;
 the bench checks the same band holds here.
 """
 
-import pytest
 
 from conftest import DATASETS
 from repro.hw.perf import measure_tokenized_stats
@@ -52,5 +51,5 @@ def test_tokenizer_throughput(benchmark, corpora):
 
     tokenizer = Tokenizer()
     lines = corpora["BGL2"][:300]
-    words = benchmark(lambda: sum(len(tokenizer.tokenize_line(l)) for l in lines))
+    words = benchmark(lambda: sum(len(tokenizer.tokenize_line(ln)) for ln in lines))
     assert words > 0

@@ -8,7 +8,6 @@ dataset lands between ~11 and 12.8 GB/s, and the lowest-ratio dataset
 (BGL2 in the paper) is the storage-bound one.
 """
 
-import pytest
 
 from conftest import DATASETS
 from repro.compression import LZAHCompressor, compression_ratio

@@ -9,7 +9,6 @@ of batch size; the scan database's distribution sits an order of
 magnitude left and slides further left as batches grow.
 """
 
-import pytest
 
 from conftest import DATASETS
 from repro.system.report import log_bins, render_histogram

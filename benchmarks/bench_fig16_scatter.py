@@ -6,7 +6,6 @@ negative-term-heavy (full-scan) queries are the slow cluster for the
 software engine, amplifying the gap — the paper's left-edge cluster.
 """
 
-import pytest
 
 from conftest import DATASETS
 from repro.system.report import render_scatter_summary

@@ -8,7 +8,6 @@ traffic. A hostile random-overwrite workload on the same FTL shows what
 the log workload avoids.
 """
 
-import pytest
 
 from repro.params import StorageParams
 from repro.storage.device import MithriLogDevice
@@ -23,7 +22,7 @@ def _log_workload_stats(corpora):
     device = MithriLogDevice(params, flash=FTLFlashArray(params))
     system = MithriLogSystem(device=device)
     lines = corpora["Liberty2"][:4000]
-    epochs = [float(l.split()[1]) for l in lines]
+    epochs = [float(ln.split()[1]) for ln in lines]
     step = len(lines) // 4
     for i in range(4):  # periodic snapshot flushes rewrite index pages
         chunk = slice(i * step, (i + 1) * step if i < 3 else len(lines))

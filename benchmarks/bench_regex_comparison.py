@@ -7,7 +7,6 @@ published operating points quantify the chip-resource gap — a MithriLog
 pipeline needs ~19 KLUT per GB/s where HARE+LZRW needs ~145.
 """
 
-import pytest
 
 from repro.baselines.regexdfa import HareModel, RegexMatcher, RegexPredicate, escape_token
 from repro.core.query import parse_query

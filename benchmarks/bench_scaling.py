@@ -9,7 +9,6 @@ MithriLog's effective throughput and its advantage over the software
 engines grow monotonically with size.
 """
 
-import pytest
 
 from repro.core.query import Query, Term, parse_query
 from repro.system.comparison import ComparisonHarness

@@ -7,7 +7,6 @@ smallest, line lengths sit in the ~100-150 B band, and FT-tree extracts
 a substantial template library from each dataset.
 """
 
-import pytest
 
 from conftest import DATASETS
 from repro.datasets.schema import DATASET_SPECS
@@ -18,7 +17,7 @@ def _table_rows(corpora, fttrees):
     rows = []
     for name in DATASETS:
         lines = corpora[name]
-        nbytes = sum(len(l) + 1 for l in lines)
+        nbytes = sum(len(ln) + 1 for ln in lines)
         spec = DATASET_SPECS[name]
         rows.append(
             [

@@ -9,7 +9,7 @@ import pytest
 
 from repro.compression.decoder_model import DecoderCycleModel
 from repro.compression.lzah import LZAHCompressor
-from repro.hw.resources import LZAH_IP, compression_efficiency_table, hare_comparison
+from repro.hw.resources import compression_efficiency_table, hare_comparison
 from repro.system.report import render_table
 
 

@@ -13,7 +13,6 @@ dataset, and the advantage is largest exactly where the paper says it is
 — on the scan-heavy, negative-term-heavy queries.
 """
 
-import pytest
 
 from conftest import DATASETS
 from repro.system.report import render_table

@@ -6,7 +6,6 @@ power-efficiency headline: similar wall power, order-of-magnitude higher
 throughput, hence order-of-magnitude better performance per watt.
 """
 
-import pytest
 
 from conftest import DATASETS
 from repro.hw.power import efficiency_comparison, mithrilog_power, software_power

@@ -9,7 +9,6 @@ pass arithmetic for each dataset's extracted library.
 
 import math
 
-import pytest
 
 from conftest import DATASETS
 from repro.core.tagger import TemplateTagger
@@ -23,7 +22,7 @@ def test_tagging_pass_arithmetic(benchmark, fttrees, corpora, capsys):
         for name in DATASETS:
             tree = fttrees[name]
             tagger = TemplateTagger.from_tree(tree)
-            raw_bytes = sum(len(l) + 1 for l in corpora[name])
+            raw_bytes = sum(len(ln) + 1 for ln in corpora[name])
             # each pass is one wire-speed scan of the decompressed data
             scan_s = raw_bytes / 11.5e9
             rows.append(
@@ -76,5 +75,5 @@ def test_tagging_rate(benchmark, fttrees, corpora):
     """Micro-benchmark: functional tag_line rate on the full library."""
     tagger = TemplateTagger.from_tree(fttrees["BGL2"])
     lines = corpora["BGL2"][:50]
-    tagged = benchmark(lambda: [tagger.tag_line(l) for l in lines])
+    tagged = benchmark(lambda: [tagger.tag_line(ln) for ln in lines])
     assert len(tagged) == 50

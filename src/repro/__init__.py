@@ -31,6 +31,7 @@ from repro.obs import (
     use_registry,
 )
 from repro.params import PROTOTYPE, SystemParams
+from repro.service import QueryService, Request, TenantConfig
 from repro.system import (
     ComparisonHarness,
     MithriLogSystem,
@@ -55,10 +56,13 @@ __all__ = [
     "Query",
     "QueryPlanner",
     "QueryScheduler",
+    "QueryService",
+    "Request",
     "SpanTracer",
     "StreamingIngestor",
     "SystemParams",
     "TemplateTagger",
+    "TenantConfig",
     "Term",
     "TokenFilterEngine",
     "build_workload",

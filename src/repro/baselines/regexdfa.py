@@ -25,7 +25,7 @@ filter cannot.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional
 
 from repro.errors import QueryParseError
 

@@ -10,6 +10,8 @@ The workflows a downstream user needs, without writing Python::
     python -m repro trace    --store ./store 'KERNEL' --out trace.json
     python -m repro explain  --store ./store 'KERNEL' --analyze
     python -m repro watch-perf BENCH_hotpath.json fresh.json
+    python -m repro serve-sim --log my.log --offered-qps 800 --max-loss 0.5
+    python -m repro loadgen  --log my.log --multiples 0.5,1,2 --out sweep.json
     python -m repro compress --log my.log
 
 Every command prints a short human-readable report; ``query`` also
@@ -272,6 +274,149 @@ def _cmd_watch_perf(args: argparse.Namespace) -> int:
     return watch_main(argv)
 
 
+def _build_service(args: argparse.Namespace):
+    """Shared serve-sim/loadgen setup: corpus -> system -> service parts."""
+    from repro.service import make_tenants, query_pool
+
+    lines = read_log_lines(args.log)
+    tenants = make_tenants(
+        args.tenants,
+        skew=args.skew,
+        queue_limit=args.queue_limit,
+    )
+    pool = query_pool(lines, max_queries=args.pool, seed=args.seed)
+
+    def factory():
+        from repro.service import QueryService
+
+        system = MithriLogSystem(seed=args.seed)
+        system.ingest(lines)
+        return QueryService(
+            system, tenants, max_backlog=args.max_backlog
+        )
+
+    return tenants, pool, factory
+
+
+def _cmd_serve_sim(args: argparse.Namespace) -> int:
+    from repro.service import open_loop_requests
+
+    if args.tenants <= 0:
+        log.error("--tenants must be positive")
+        return 2
+    if args.duration <= 0:
+        log.error("--duration must be positive")
+        return 2
+    if args.offered_qps <= 0:
+        log.error("--offered-qps must be positive")
+        return 2
+    if not 0 <= args.max_loss <= 1:
+        log.error("--max-loss must be within [0, 1]")
+        return 2
+    tenants, pool, factory = _build_service(args)
+    requests = open_loop_requests(
+        pool,
+        tenants,
+        offered_qps=args.offered_qps,
+        duration_s=args.duration,
+        seed=args.seed,
+        deadline_s=args.deadline_ms / 1e3 if args.deadline_ms else None,
+    )
+    service = factory()
+    report = service.run(requests, workers=args.workers)
+    counts = report.outcome_counts()
+    log.info(
+        f"served {report.submitted:,} requests from {len(tenants)} tenants "
+        f"in {report.duration_s * 1e3:.1f} ms simulated "
+        f"({report.passes} accelerator passes)"
+    )
+    log.info(
+        f"  ok {counts['ok']:,}  rejected {counts['rejected']:,}  "
+        f"shed {counts['shed']:,}  timed out {counts['timed_out']:,}"
+    )
+    log.info(
+        f"  goodput {report.goodput_qps:,.0f} q/s, "
+        f"p50 {report.latency_percentile_s(50) * 1e3:.2f} ms, "
+        f"p99 {report.latency_percentile_s(99) * 1e3:.2f} ms, "
+        f"loss rate {100 * report.shed_rate:.1f}%"
+    )
+    if not report.conserved():
+        log.error("outcome conservation violated (this is a bug)")
+        return 1
+    if args.as_json:
+        payload = {
+            "submitted": report.submitted,
+            "outcomes": counts,
+            "goodput_qps": report.goodput_qps,
+            "p50_ms": report.latency_percentile_s(50) * 1e3,
+            "p99_ms": report.latency_percentile_s(99) * 1e3,
+            "shed_rate": report.shed_rate,
+            "passes": report.passes,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    if report.shed_rate > args.max_loss:
+        log.warning(
+            f"loss rate {100 * report.shed_rate:.1f}% exceeds "
+            f"--max-loss {100 * args.max_loss:.1f}% — service degraded"
+        )
+        return 1
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.service import estimate_capacity, run_sweep
+
+    if args.tenants <= 0:
+        log.error("--tenants must be positive")
+        return 2
+    if args.duration <= 0:
+        log.error("--duration must be positive")
+        return 2
+    try:
+        multiples = [float(m) for m in args.multiples.split(",") if m]
+    except ValueError:
+        log.error(f"--multiples must be comma-separated numbers, got {args.multiples!r}")
+        return 2
+    if not multiples or any(m <= 0 for m in multiples):
+        log.error("--multiples needs at least one positive value")
+        return 2
+    tenants, pool, factory = _build_service(args)
+    capacity = estimate_capacity(factory, pool, tenants, seed=args.seed)
+    log.info(f"measured capacity: {capacity:,.0f} q/s (simulated)")
+    points = run_sweep(
+        factory,
+        pool,
+        tenants,
+        capacity_qps=capacity,
+        load_multiples=multiples,
+        duration_s=args.duration,
+        deadline_s=args.deadline_ms / 1e3 if args.deadline_ms else None,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    log.info("  load   offered     goodput   p50 ms   p99 ms   loss")
+    for point in points:
+        log.info(
+            f"  x{point.load_multiple:<5g}{point.offered_qps:>8,.0f}"
+            f"{point.goodput_qps:>12,.0f}{point.p50_ms:>9.2f}"
+            f"{point.p99_ms:>9.2f}{100 * point.shed_rate:>6.1f}%"
+        )
+    if args.out is not None:
+        Path(args.out).write_text(
+            json.dumps([p.record() for p in points], indent=2) + "\n"
+        )
+        log.info(f"sweep records written to {args.out}")
+    if args.p99_budget_ms is not None:
+        worst = max(point.p99_ms for point in points)
+        if worst > args.p99_budget_ms:
+            log.warning(
+                f"worst p99 {worst:.2f} ms exceeds budget "
+                f"{args.p99_budget_ms:.2f} ms — latency degraded"
+            )
+            return 1
+    return 0
+
+
 def _cmd_compress(args: argparse.Namespace) -> int:
     from repro.compression import (
         GzipCompressor,
@@ -439,6 +584,54 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compress", help="Table 5 codec comparison on a log file")
     p.add_argument("--log", required=True)
     p.set_defaults(func=_cmd_compress)
+
+    def _service_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--log", required=True, help="corpus to ingest and query")
+        p.add_argument("--tenants", type=int, default=3)
+        p.add_argument("--skew", type=float, default=1.2,
+                       help="Zipf exponent for tenant traffic shares")
+        p.add_argument("--pool", type=int, default=16,
+                       help="template queries in the workload pool")
+        p.add_argument("--queue-limit", type=int, default=64,
+                       help="per-tenant admission queue bound")
+        p.add_argument("--max-backlog", type=int, default=32,
+                       help="global backlog before load shedding engages")
+        p.add_argument("--duration", type=float, default=0.3,
+                       help="simulated seconds of offered traffic")
+        p.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-request deadline (simulated milliseconds)")
+        p.add_argument("--workers", type=int, default=1,
+                       help="scan worker processes (outcomes are identical "
+                       "at any worker count)")
+
+    p = sub.add_parser(
+        "serve-sim",
+        help="serve one simulated multi-tenant session; exit 1 when loss "
+        "exceeds --max-loss",
+    )
+    _service_args(p)
+    p.add_argument("--offered-qps", type=float, default=500.0,
+                   help="open-loop Poisson arrival rate")
+    p.add_argument("--max-loss", type=float, default=1.0,
+                   help="degraded threshold on the shed+rejected+timed-out "
+                   "fraction (exit 1 above it)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="also print a JSON summary to stdout")
+    p.set_defaults(func=_cmd_serve_sim)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="sweep offered load against a fresh service; exit 1 when p99 "
+        "exceeds --p99-budget-ms",
+    )
+    _service_args(p)
+    p.add_argument("--multiples", default="0.5,1,2,4",
+                   help="comma-separated offered-load multiples of capacity")
+    p.add_argument("--p99-budget-ms", type=float, default=None,
+                   help="latency budget the worst sweep point must meet")
+    p.add_argument("--out", default=None,
+                   help="write sweep records (watch-perf format) to this file")
+    p.set_defaults(func=_cmd_loadgen)
 
     return parser
 

@@ -60,9 +60,9 @@ def chunk_lines_into_pages(
                 f"line of {len(line)} bytes exceeds the page budget {budget}"
             )
         if used + need > budget and chunk:
-            yield b"".join(l + b"\n" for l in chunk), chunk
+            yield b"".join(ln + b"\n" for ln in chunk), chunk
             chunk, used = [], 0
         chunk.append(line)
         used += need
     if chunk:
-        yield b"".join(l + b"\n" for l in chunk), chunk
+        yield b"".join(ln + b"\n" for ln in chunk), chunk

@@ -28,6 +28,7 @@ single ``is None`` check — zero overhead on the hot path.
 from repro.faults.injectors import (
     FaultKind,
     PageFaultInjector,
+    ServiceFaultInjector,
     ShardFaultInjector,
     WalFaultInjector,
     inject_page_faults,
@@ -59,6 +60,7 @@ __all__ = [
     "PageFaultInjector",
     "RecoveryStats",
     "RetryPolicy",
+    "ServiceFaultInjector",
     "ShardFaultInjector",
     "WalFaultInjector",
     "inject_page_faults",

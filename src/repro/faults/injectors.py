@@ -39,6 +39,8 @@ class FaultKind(enum.Enum):
     BAD_BLOCK = "bad_block"  #: persistent, unrecoverable page loss
     TORN_WRITE = "torn_write"  #: WAL record cut short by a crash
     SHARD_DOWN = "shard_down"  #: whole device missing from the cluster
+    COMPILE_REJECT = "compile_reject"  #: service refuses a query's program
+    SLOW_PASS = "slow_pass"  #: an accelerator pass running degraded/slow
 
 
 class PageFaultInjector:
@@ -137,6 +139,65 @@ class ShardFaultInjector:
         if self.shard_down.fires(op, shard_index):
             self.log.record(FaultKind.SHARD_DOWN.value, op, address=shard_index)
             raise ShardUnavailableError(f"shard {shard_index} is unreachable")
+
+
+class ServiceFaultInjector:
+    """Injects faults into the multi-tenant query service layer.
+
+    Two failure modes the service must turn into *explicit outcomes*
+    rather than hangs or crashes:
+
+    - ``compile_rejects`` — a request's program is refused at the front
+      door (the hardware probe says it cannot place), keyed by the
+      admission operation counter; the service answers ``REJECTED``
+      with reason ``compile_fault``.
+    - ``slow_passes`` — an accelerator pass runs ``slowdown`` times
+      slower than modelled (a degraded shard, a busy device), keyed by
+      the pass counter; queued requests behind it feel the latency and
+      the deadline/shedding machinery reacts.
+    """
+
+    def __init__(
+        self,
+        compile_rejects: Optional[FaultSchedule] = None,
+        slow_passes: Optional[FaultSchedule] = None,
+        slowdown: float = 4.0,
+        log: Optional[FaultLog] = None,
+    ) -> None:
+        if slowdown < 1.0:
+            raise ValueError("slowdown must be at least 1.0")
+        self.compile_rejects = (
+            compile_rejects if compile_rejects is not None else NeverSchedule()
+        )
+        self.slow_passes = (
+            slow_passes if slow_passes is not None else NeverSchedule()
+        )
+        self.slowdown = slowdown
+        self.log = log if log is not None else FaultLog()
+        self.admissions = 0
+        self.passes = 0
+
+    def on_admit(self, tenant: str) -> bool:
+        """Called once per admitted-for-compile request; True = reject."""
+        op = self.admissions
+        self.admissions += 1
+        if self.compile_rejects.fires(op):
+            self.log.record(FaultKind.COMPILE_REJECT.value, op, detail=tenant)
+            return True
+        return False
+
+    def on_pass(self, batch_size: int) -> float:
+        """Called once per accelerator pass; returns a time multiplier."""
+        op = self.passes
+        self.passes += 1
+        if self.slow_passes.fires(op):
+            self.log.record(
+                FaultKind.SLOW_PASS.value,
+                op,
+                detail=f"x{self.slowdown:g} over {batch_size} queries",
+            )
+            return self.slowdown
+        return 1.0
 
 
 def inject_page_faults(

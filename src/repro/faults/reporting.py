@@ -22,6 +22,8 @@ FAULT_COMPONENTS = {
     "bad_block": "flash",
     "torn_write": "wal",
     "shard_down": "cluster",
+    "compile_reject": "service",
+    "slow_pass": "service",
 }
 
 

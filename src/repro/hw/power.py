@@ -10,7 +10,7 @@ performance, hence order-of-magnitude better efficiency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 #: Measured / published component draws (watts).
 VC707_BOARD_W = 18.0

@@ -15,8 +15,8 @@ snapshot index together behind the two operations the system needs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Optional
 
 from repro.core.query import Query
 from repro.errors import LogIndexError

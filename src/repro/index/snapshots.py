@@ -73,9 +73,9 @@ class SnapshotIndex:
             Snapshot(
                 timestamp=float(t),
                 data_page_watermark=int(w),
-                leaf_pages_at_flush=int(l),
+                leaf_pages_at_flush=int(ln),
             )
-            for t, w, l in state["snapshots"]
+            for t, w, ln in state["snapshots"]
         ]
         self._leaf_pages_at_last_flush = int(state["leaf_pages_at_last_flush"])
 

@@ -44,6 +44,7 @@ REQUIRED_FAMILY_PREFIXES = (
     "mithrilog_explain_",
     "mithrilog_util_",
     "mithrilog_profile_",
+    "mithrilog_service_",
 )
 
 LOG = get_logger("repro.obs.check")

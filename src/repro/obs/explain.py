@@ -38,7 +38,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterator, Optional, Sequence, Union
+from typing import Any, Iterator, Optional, Union
 
 __all__ = [
     "ExplainError",

@@ -199,6 +199,34 @@ def bootstrap_families(registry: Optional[MetricsRegistry] = None) -> None:
         "EXPLAIN reports built, by mode (estimate/analyze)",
         labelnames=("mode",),
     )
+    registry.counter(
+        "mithrilog_service_requests_total",
+        "Service requests by tenant and outcome",
+        labelnames=("tenant", "outcome"),
+    )
+    registry.gauge(
+        "mithrilog_service_queue_depth",
+        "Admission queue depth per tenant",
+        labelnames=("tenant",),
+    )
+    registry.gauge(
+        "mithrilog_service_backlog",
+        "Total queued requests across tenants",
+    )
+    registry.histogram(
+        "mithrilog_service_latency_seconds",
+        "Per-tenant end-to-end simulated latency (OK only)",
+        labelnames=("tenant",),
+    )
+    registry.counter(
+        "mithrilog_service_passes_total",
+        "Accelerator passes the service scheduled",
+    )
+    registry.histogram(
+        "mithrilog_service_batch_size",
+        "Queries packed per accelerator pass",
+        buckets=(1.0, 2.0, 4.0, 8.0, 16.0, math.inf),
+    )
     registry.gauge(
         "mithrilog_util_busy_fraction",
         "Per-resource busy fraction of the latest query's scan window",

@@ -31,7 +31,7 @@ Perfetto view of a sharded, parallel scan still groups by query.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Mapping, Optional, TypeVar
 
 from repro.obs.metrics import get_registry

@@ -31,7 +31,6 @@ Exit codes follow the house convention: 0 pass, 1 regression(s),
 from __future__ import annotations
 
 import json
-import sys
 from dataclasses import dataclass
 from pathlib import Path
 from statistics import median

@@ -1,0 +1,70 @@
+"""Multi-tenant query service over the simulated MithriLog stack.
+
+The paper evaluates MithriLog as a *shared* accelerator: Section 4's
+concurrent-query mode exists because many analysts (or many tenants)
+query the same log store at once. This package is the service layer
+that makes sharing safe and fast:
+
+- :mod:`repro.service.request` — the vocabulary: :class:`Request`,
+  :class:`Response`, the four-valued :class:`Outcome`, per-tenant
+  :class:`TenantConfig` knobs and :class:`TenantStats` accounting;
+- :mod:`repro.service.admission` — bounded per-tenant queues, token-
+  bucket rate limits, absolute quotas, and priority-aware overload
+  shedding (:class:`AdmissionController`);
+- :mod:`repro.service.qos` — weighted-fair drain packed into shared
+  accelerator passes by compile probe (:class:`QoSScheduler`);
+- :mod:`repro.service.service` — the :class:`QueryService` event loop on
+  the simulated clock, plus :class:`ServiceReport`;
+- :mod:`repro.service.workload` — skewed tenant mixes, open-loop Poisson
+  arrivals and closed-loop client populations, and the offered-load
+  sweep helpers ``bench_service.py`` and ``repro loadgen`` share.
+
+Everything runs on simulated time with seeded randomness only in
+workload *generation* — a run is bit-for-bit deterministic for a fixed
+input and invariant to the host worker count.
+"""
+
+from repro.service.admission import AdmissionController, TokenBucket
+from repro.service.qos import Batch, QoSScheduler
+from repro.service.request import (
+    Outcome,
+    Request,
+    Response,
+    TenantConfig,
+    TenantStats,
+)
+from repro.service.service import QueryService, ServiceReport
+from repro.service.workload import (
+    ClosedLoopSource,
+    SweepPoint,
+    WorkloadSource,
+    estimate_capacity,
+    make_tenants,
+    open_loop_requests,
+    query_pool,
+    run_sweep,
+    zipf_shares,
+)
+
+__all__ = [
+    "AdmissionController",
+    "Batch",
+    "ClosedLoopSource",
+    "Outcome",
+    "QoSScheduler",
+    "QueryService",
+    "Request",
+    "Response",
+    "ServiceReport",
+    "SweepPoint",
+    "TenantConfig",
+    "TenantStats",
+    "TokenBucket",
+    "WorkloadSource",
+    "estimate_capacity",
+    "make_tenants",
+    "open_loop_requests",
+    "query_pool",
+    "run_sweep",
+    "zipf_shares",
+]

@@ -87,7 +87,7 @@ class ComparisonHarness:
 
     def __init__(self, lines: Sequence[bytes], seed: int = 0) -> None:
         self.lines = list(lines)
-        self.original_bytes = sum(len(l) + 1 for l in self.lines)
+        self.original_bytes = sum(len(ln) + 1 for ln in self.lines)
         self.mithrilog = MithriLogSystem(seed=seed)
         self.ingest_report = self.mithrilog.ingest(self.lines)
         self.scan_db = ScanDatabase(self.lines)

@@ -343,7 +343,7 @@ class MithriLogSystem:
             compressed_total += len(payload)
             pages += 1
             pos += len(chunk)
-        original = sum(len(l) + 1 for l in lines)
+        original = sum(len(ln) + 1 for ln in lines)
         self.original_bytes += original
         self.total_lines += len(lines)
         self._measure_accelerator_rate(lines)
@@ -410,7 +410,7 @@ class MithriLogSystem:
                 used += len(lines[j]) + 1
                 j += 1
             payload = self.codec.compress(
-                b"".join(l + b"\n" for l in chunk)
+                b"".join(ln + b"\n" for ln in chunk)
             )
             while len(payload) > page_bytes:
                 if len(chunk) == 1:
@@ -419,8 +419,8 @@ class MithriLogSystem:
                         f"{page_bytes}-byte page even compressed"
                     )
                 chunk = chunk[: len(chunk) // 2]
-                payload = self.codec.compress(b"".join(l + b"\n" for l in chunk))
-            used = sum(len(l) + 1 for l in chunk)
+                payload = self.codec.compress(b"".join(ln + b"\n" for ln in chunk))
+            used = sum(len(ln) + 1 for ln in chunk)
             ratio_estimate = 0.5 * ratio_estimate + 0.5 * (used / len(payload))
             yield payload, chunk
             i += len(chunk)

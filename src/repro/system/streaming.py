@@ -27,18 +27,29 @@ class StreamingIngestor:
         system: MithriLogSystem,
         batch_lines: int = 512,
         snapshot_every_s: Optional[float] = None,
+        max_pending_lines: Optional[int] = None,
+        overflow: str = "raise",
     ) -> None:
         if batch_lines <= 0:
             raise IngestError("batch_lines must be positive")
         if snapshot_every_s is not None and snapshot_every_s <= 0:
             raise IngestError("snapshot_every_s must be positive")
+        if max_pending_lines is not None and max_pending_lines <= 0:
+            raise IngestError("max_pending_lines must be positive")
+        if overflow not in ("raise", "shed"):
+            raise IngestError(
+                f"overflow must be 'raise' or 'shed', got {overflow!r}"
+            )
         self.system = system
         self.batch_lines = batch_lines
         self.snapshot_every_s = snapshot_every_s
+        self.max_pending_lines = max_pending_lines
+        self.overflow = overflow
         self._pending: list[bytes] = []
         self._pending_stamps: list[Optional[float]] = []
         self._last_snapshot_at: Optional[float] = None
         self.lines_ingested = 0
+        self.lines_shed = 0
 
     # -- arrival ---------------------------------------------------------
 
@@ -47,9 +58,32 @@ class StreamingIngestor:
         return len(self._pending)
 
     def append(self, line: bytes, timestamp: Optional[float] = None) -> None:
-        """Accept one line; persists automatically when the batch fills."""
+        """Accept one line; persists automatically when the batch fills.
+
+        With ``max_pending_lines`` set, a full arrival buffer applies the
+        ``overflow`` policy *before* accepting the line: ``"raise"``
+        surfaces the backpressure to the producer as an
+        :class:`~repro.errors.IngestError` (flush, then retry);
+        ``"shed"`` drops the newest line and counts it in
+        :attr:`lines_shed` — the bounded-buffer behaviour a lossy
+        collector (syslog over UDP) exhibits. A cap below ``batch_lines``
+        is the configuration where it binds, since the batch auto-flush
+        otherwise empties the buffer first.
+        """
         if b"\n" in line:
             raise IngestError("append one line at a time, without newlines")
+        if (
+            self.max_pending_lines is not None
+            and len(self._pending) >= self.max_pending_lines
+        ):
+            if self.overflow == "shed":
+                self.lines_shed += 1
+                return
+            raise IngestError(
+                f"pending buffer full ({len(self._pending)} lines >= "
+                f"max_pending_lines={self.max_pending_lines}): flush() "
+                "before appending, raise the cap, or use overflow='shed'"
+            )
         self._pending.append(line)
         self._pending_stamps.append(timestamp)
         if len(self._pending) >= self.batch_lines:

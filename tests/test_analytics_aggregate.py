@@ -58,7 +58,7 @@ class TestAggregateReport:
     @pytest.fixture(scope="class")
     def matches(self):
         lines = generator_for("Liberty2").generate(3000)
-        return [l for l in lines if b"sshd" in l]
+        return [ln for ln in lines if b"sshd" in ln]
 
     def test_totals_and_hosts(self, matches):
         report = aggregate_matches(matches)

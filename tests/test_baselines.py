@@ -3,8 +3,8 @@
 import pytest
 
 from repro.baselines.grep import grep_indices, grep_lines
-from repro.baselines.scandb import ScanDatabase, ScanDbCostModel
-from repro.baselines.splunklike import SplunkCostModel, SplunkLikeEngine
+from repro.baselines.scandb import ScanDatabase
+from repro.baselines.splunklike import SplunkLikeEngine
 from repro.core.query import parse_query
 from repro.datasets.synthetic import generator_for
 

@@ -255,3 +255,70 @@ class TestTemplatesAndCompress:
         code = main(["templates", "--log", str(tmp_path / "none.log")])
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestServeSim:
+    def test_healthy_session_exits_zero(self, log_file, capsys):
+        code = main(
+            ["serve-sim", "--log", str(log_file), "--offered-qps", "300",
+             "--duration", "0.05", "--max-loss", "0.9", "--json"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "goodput" in out
+        assert '"submitted"' in out  # --json payload on stdout
+
+    def test_degraded_session_exits_one(self, log_file, capsys):
+        code = main(
+            ["serve-sim", "--log", str(log_file), "--offered-qps", "50000",
+             "--duration", "0.05", "--max-loss", "0.01"]
+        )
+        assert code == 1
+        assert "exceeds" in capsys.readouterr().err
+
+    def test_invalid_args_exit_two(self, log_file):
+        assert main(["serve-sim", "--log", str(log_file), "--tenants", "0"]) == 2
+        assert main(["serve-sim", "--log", str(log_file), "--duration", "-1"]) == 2
+        assert main(
+            ["serve-sim", "--log", str(log_file), "--offered-qps", "-5"]
+        ) == 2
+        assert main(
+            ["serve-sim", "--log", str(log_file), "--max-loss", "1.5"]
+        ) == 2
+
+    def test_missing_log_exits_one(self, tmp_path, capsys):
+        code = main(["serve-sim", "--log", str(tmp_path / "none.log")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestLoadgen:
+    def test_sweep_writes_records(self, log_file, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        code = main(
+            ["loadgen", "--log", str(log_file), "--multiples", "0.5,2",
+             "--duration", "0.02", "--out", str(out)]
+        )
+        assert code == 0
+        assert "measured capacity" in capsys.readouterr().out
+        import json as _json
+
+        records = _json.loads(out.read_text())
+        assert [r["config"] for r in records] == ["load-x0.5", "load-x2"]
+        assert all(r["bench"] == "service" for r in records)
+
+    def test_blown_latency_budget_exits_one(self, log_file, capsys):
+        code = main(
+            ["loadgen", "--log", str(log_file), "--multiples", "2",
+             "--duration", "0.02", "--p99-budget-ms", "0.0001"]
+        )
+        assert code == 1
+        assert "exceeds budget" in capsys.readouterr().err
+
+    def test_invalid_args_exit_two(self, log_file):
+        assert main(["loadgen", "--log", str(log_file), "--multiples", "x"]) == 2
+        assert main(["loadgen", "--log", str(log_file), "--multiples", ""]) == 2
+        assert main(
+            ["loadgen", "--log", str(log_file), "--multiples", "-1"]
+        ) == 2
+        assert main(["loadgen", "--log", str(log_file), "--tenants", "0"]) == 2

@@ -113,7 +113,8 @@ class TestLoadFactorAndDisplacement:
     def test_all_inserted_tokens_remain_findable_after_kicks(self):
         table = CuckooHashTable()
         tokens = [f"displacement-test-{i}".encode() for i in range(100)]
-        rows = {t: table.add_term(t, 0, negative=False) for t in tokens}
+        for t in tokens:
+            table.add_term(t, 0, negative=False)
         for token in tokens:
             found = table.lookup(token)
             assert found is not None

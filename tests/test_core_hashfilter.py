@@ -3,11 +3,10 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.hashfilter import HashFilter, LineEvaluator, compile_queries
+from repro.core.hashfilter import HashFilter, compile_queries
 from repro.core.query import IntersectionSet, Query, Term, parse_query
 from repro.core.tokenizer import Tokenizer
-from repro.errors import CapacityError, PlacementError
-from repro.params import CuckooParams
+from repro.errors import CapacityError
 
 
 def evaluate(program, line: bytes):

@@ -42,7 +42,7 @@ class TestPipelineProcessing:
         lines = LINES * 10  # 60 lines across 8 lanes
         result = pipeline.process_lines(lines)
         assert result.lines == 60
-        assert result.kept_any() == [l.startswith(b"R23-M0 RAS KERNEL INFO") for l in lines]
+        assert result.kept_any() == [ln.startswith(b"R23-M0 RAS KERNEL INFO") for ln in lines]
 
     def test_token_counter(self, program):
         pipeline = FilterPipeline(program)
@@ -84,7 +84,7 @@ class TestPipelineCycles:
         pipeline = FilterPipeline(program)
         count = pipeline.count_cycles(LINES)
         assert count.cycles > 0
-        assert count.raw_bytes == sum(len(l) + 1 for l in LINES)
+        assert count.raw_bytes == sum(len(ln) + 1 for ln in LINES)
 
     def test_throughput_below_wire_speed(self, program):
         pipeline = FilterPipeline(program)
@@ -94,7 +94,7 @@ class TestPipelineCycles:
 
     @given(
         st.lists(
-            st.binary(max_size=60).filter(lambda l: b"\n" not in l),
+            st.binary(max_size=60).filter(lambda ln: b"\n" not in ln),
             min_size=1,
             max_size=40,
         )

@@ -55,13 +55,13 @@ class TestGenerators:
     @pytest.mark.parametrize("name", sorted(DATASET_SPECS))
     def test_mean_line_length_near_table1(self, name):
         lines = generator_for(name).generate(2000)
-        mean = sum(len(l) + 1 for l in lines) / len(lines)
+        mean = sum(len(ln) + 1 for ln in lines) / len(lines)
         target = DATASET_SPECS[name].avg_line_bytes
         assert 0.5 * target < mean < 1.8 * target
 
     def test_timestamps_monotone(self):
         lines = generator_for("Liberty2").generate(500)
-        epochs = [int(l.split()[1]) for l in lines]
+        epochs = [int(ln.split()[1]) for ln in lines]
         assert epochs == sorted(epochs)
 
     def test_template_skew(self):
@@ -71,13 +71,13 @@ class TestGenerators:
         from collections import Counter
 
         # bucket by the facility token (field 8 of the syslog format)
-        facilities = Counter(l.split()[8] for l in lines if len(l.split()) > 8)
+        facilities = Counter(ln.split()[8] for ln in lines if len(ln.split()) > 8)
         counts = facilities.most_common()
         assert counts[0][1] > 10 * counts[-1][1]
 
     def test_variable_fields_vary(self):
         lines = generator_for("BGL2").generate(300)
-        nodes = {l.split()[3] for l in lines}
+        nodes = {ln.split()[3] for ln in lines}
         assert len(nodes) > 50
 
     def test_all_generators_cover_specs(self):
@@ -115,12 +115,12 @@ class TestLoader:
         lines = [b"x" * 100] * 100
         for text, chunk in chunk_lines_into_pages(lines, page_bytes=1024):
             assert len(text) <= 1024
-            assert text == b"".join(l + b"\n" for l in chunk)
+            assert text == b"".join(ln + b"\n" for ln in chunk)
 
     def test_chunks_break_at_line_boundaries(self):
         lines = [b"abc", b"de", b"fghi"]
         chunks = list(chunk_lines_into_pages(lines, page_bytes=8))
-        rebuilt = [l for _, chunk in chunks for l in chunk]
+        rebuilt = [ln for _, chunk in chunks for ln in chunk]
         assert rebuilt == lines
         for text, _ in chunks:
             assert text.endswith(b"\n")
@@ -135,10 +135,10 @@ class TestLoader:
         tight = list(chunk_lines_into_pages(lines, page_bytes=256, target_fill=1.0))
         assert len(loose) < len(tight)
 
-    @given(st.lists(st.binary(max_size=64).filter(lambda l: b"\n" not in l), max_size=60))
+    @given(st.lists(st.binary(max_size=64).filter(lambda ln: b"\n" not in ln), max_size=60))
     @settings(max_examples=60)
     def test_chunking_loses_nothing(self, lines):
         chunks = list(chunk_lines_into_pages(lines, page_bytes=256))
-        rebuilt = [l for _, chunk in chunks for l in chunk]
+        rebuilt = [ln for _, chunk in chunks for ln in chunk]
         assert rebuilt == lines
-        assert b"".join(t for t, _ in chunks) == b"".join(l + b"\n" for l in lines)
+        assert b"".join(t for t, _ in chunks) == b"".join(ln + b"\n" for ln in lines)

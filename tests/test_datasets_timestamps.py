@@ -1,6 +1,5 @@
 """Tests for epoch extraction from log lines."""
 
-import pytest
 
 from repro.datasets.synthetic import generator_for
 from repro.datasets.timestamps import extract_epoch, extract_epochs

@@ -101,12 +101,12 @@ class TestPageBloomIndex:
         for addr in range(0, 60):
             chunk = lines[addr * 10 : (addr + 1) * 10]
             page_lines[addr] = chunk
-            index.index_page(addr, [t for l in chunk for t in split_tokens(l)])
+            index.index_page(addr, [t for ln in chunk for t in split_tokens(ln)])
         query = parse_query("KERNEL AND FATAL")
         candidates = set(index.candidate_pages(query))
         truly = {
             addr
             for addr, chunk in page_lines.items()
-            if any(query.matches_line(l) for l in chunk)
+            if any(query.matches_line(ln) for ln in chunk)
         }
         assert truly.issubset(candidates)

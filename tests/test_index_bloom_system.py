@@ -61,7 +61,7 @@ class TestBloomBackedSystem:
 
     def test_time_bounded_queries_work(self, systems, corpus):
         bloom_system, _ = systems
-        epochs = [float(l.split()[1]) for l in corpus]
+        epochs = [float(ln.split()[1]) for ln in corpus]
         bloom_system.index.flush(timestamp=epochs[-1])
         query = parse_query("KERNEL")
         outcome = bloom_system.query(query, time_range=(epochs[0], epochs[-1]))

@@ -1,6 +1,5 @@
 """Tests for index compaction."""
 
-import pytest
 
 from repro.baselines.grep import grep_lines
 from repro.core.query import parse_query

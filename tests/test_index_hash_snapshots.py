@@ -82,10 +82,6 @@ class TestHashIndexTable:
         table = HashIndexTable()
         table.insert(b"tok", 3, store)
         table.flush_all(store)
-        row = min(
-            (table.row(r) for r in table.candidate_rows(b"tok")),
-            key=lambda r: r.head_root,
-        )
         rows = [table.row(r) for r in table.candidate_rows(b"tok")]
         assert any(r.head_root != NIL for r in rows)
         assert all(not r.buffer and not r.partial_root for r in rows)

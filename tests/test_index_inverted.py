@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.query import Query, Term, parse_query
+from repro.core.query import Term, parse_query
 from repro.core.tokenizer import split_tokens
 from repro.errors import LogIndexError
 from repro.index.inverted import InvertedIndex

@@ -63,16 +63,16 @@ class TestTokenizer:
                 bytes(rng.choice(alphabet) for _ in range(rng.randint(0, 60)))
                 for _ in range(rng.randint(0, 30))
             ]
-            payload = b"".join(l + b"\n" for l in lines)
+            payload = b"".join(ln + b"\n" for ln in lines)
             raw_lines, token_lists = tokenize_page(payload)
             assert raw_lines == payload.splitlines()
-            assert token_lists == [split_tokens(l) for l in raw_lines]
+            assert token_lists == [split_tokens(ln) for ln in raw_lines]
 
     def test_tokenize_page_empty_and_delimiter_only_pages(self):
         for payload in (b"", b"\n", b"\n\n\n", b" \t \n\t\t\n", b"\t\n" * 50):
             raw_lines, token_lists = tokenize_page(payload)
             assert raw_lines == payload.splitlines()
-            assert token_lists == [split_tokens(l) for l in raw_lines]
+            assert token_lists == [split_tokens(ln) for ln in raw_lines]
 
     def test_raw_lines_keep_tabs(self):
         # kept lines must be the raw bytes; only token *matching* sees

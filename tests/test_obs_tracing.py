@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.obs.tracing import Span, SpanTracer, TraceError, validate_chrome_trace
+from repro.obs.tracing import SpanTracer, TraceError, validate_chrome_trace
 from repro.sim.clock import SimClock
 
 

@@ -46,7 +46,7 @@ class TestPrefixQueriesEndToEnd:
         expected = grep_lines(query, corpus())
         assert sorted(outcome.matched_lines) == sorted(expected)
         # the adversarial scrambled lines must NOT match
-        assert all(not l.startswith(b"u") for l in outcome.matched_lines)
+        assert all(not ln.startswith(b"u") for ln in outcome.matched_lines)
         assert len(outcome.matched_lines) == 40
 
     def test_column_query_offloads(self, system):

@@ -12,7 +12,6 @@ corruption sweeps:
 """
 
 import random
-import zlib
 
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st

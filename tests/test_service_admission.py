@@ -1,0 +1,224 @@
+"""Tests for service admission control: buckets, queues, quotas, shedding."""
+
+import pytest
+
+from repro.core.query import parse_query
+from repro.errors import QueryError
+from repro.service.admission import AdmissionController, TokenBucket
+from repro.service.request import (
+    Outcome,
+    Request,
+    Response,
+    TenantConfig,
+    TenantStats,
+    coerce_query,
+)
+
+QUERY = parse_query("alpha")
+
+
+def make_request(tenant="t0", priority=0, deadline_s=None, arrival_s=0.0):
+    return Request(
+        tenant=tenant,
+        query=QUERY,
+        priority=priority,
+        deadline_s=deadline_s,
+        arrival_s=arrival_s,
+    )
+
+
+class TestTokenBucket:
+    def test_starts_full_and_spends(self):
+        bucket = TokenBucket(rate_per_s=2.0, capacity=2.0)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+
+    def test_refills_on_simulated_time(self):
+        bucket = TokenBucket(rate_per_s=10.0, capacity=1.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+        assert bucket.try_take(0.1)  # 0.1 s * 10/s = 1 token back
+
+    def test_capacity_clamps_refill(self):
+        bucket = TokenBucket(rate_per_s=100.0, capacity=2.0)
+        bucket.try_take(0.0)
+        bucket.refill(1000.0)
+        assert bucket.tokens == 2.0
+
+    def test_infinite_rate_never_refuses(self):
+        bucket = TokenBucket(rate_per_s=float("inf"), capacity=float("inf"))
+        for _ in range(100):
+            assert bucket.try_take(0.0)
+
+
+class TestRequestValidation:
+    def test_empty_tenant_rejected(self):
+        with pytest.raises(QueryError):
+            Request(tenant="", query=QUERY)
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(QueryError):
+            make_request(deadline_s=0.0)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(QueryError):
+            make_request(arrival_s=-1.0)
+
+    def test_coerce_accepts_text_and_bytes(self):
+        assert coerce_query("alpha AND beta") is not None
+        assert coerce_query(b"alpha") is not None
+        assert coerce_query(QUERY) is QUERY
+
+    def test_coerce_refuses_other_types(self):
+        with pytest.raises(QueryError):
+            coerce_query(42)
+
+
+class TestTenantConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"weight": 0.0},
+            {"queue_limit": 0},
+            {"rate_per_s": 0.0},
+            {"burst": 0.0},
+            {"quota_queries": -1},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(QueryError):
+            TenantConfig(name="t", **kwargs)
+
+    def test_duplicate_tenants_rejected(self):
+        with pytest.raises(QueryError):
+            AdmissionController(
+                [TenantConfig(name="t"), TenantConfig(name="t")]
+            )
+
+
+class TestAdmissionGate:
+    def test_unknown_tenant_rejected(self):
+        gate = AdmissionController([TenantConfig(name="t0")])
+        refusal, shed = gate.offer(make_request(tenant="ghost"), 0.0, 0.0)
+        assert refusal.outcome is Outcome.REJECTED
+        assert refusal.reason == "unknown_tenant"
+        assert shed == []
+
+    def test_admits_within_limits(self):
+        gate = AdmissionController([TenantConfig(name="t0")])
+        refusal, shed = gate.offer(make_request(), 0.0, 0.0)
+        assert refusal is None and shed == []
+        assert gate.total_backlog == 1
+
+    def test_quota_exhaustion(self):
+        gate = AdmissionController(
+            [TenantConfig(name="t0", quota_queries=2)]
+        )
+        assert gate.offer(make_request(), 0.0, 0.0)[0] is None
+        assert gate.offer(make_request(), 0.0, 0.0)[0] is None
+        refusal, _ = gate.offer(make_request(), 0.0, 0.0)
+        assert refusal.outcome is Outcome.REJECTED
+        assert refusal.reason == "quota"
+
+    def test_rate_limit_refuses_then_recovers(self):
+        gate = AdmissionController(
+            [TenantConfig(name="t0", rate_per_s=1.0, burst=1.0)]
+        )
+        assert gate.offer(make_request(), 0.0, 0.0)[0] is None
+        refusal, _ = gate.offer(make_request(), 0.0, 0.0)
+        assert refusal.reason == "rate_limit"
+        assert gate.offer(make_request(), 1.5, 1.5)[0] is None  # refilled
+
+    def test_queue_bound(self):
+        gate = AdmissionController([TenantConfig(name="t0", queue_limit=2)])
+        for _ in range(2):
+            assert gate.offer(make_request(), 0.0, 0.0)[0] is None
+        refusal, _ = gate.offer(make_request(), 0.0, 0.0)
+        assert refusal.reason == "queue_full"
+
+    def test_per_tenant_isolation(self):
+        gate = AdmissionController(
+            [
+                TenantConfig(name="noisy", queue_limit=1),
+                TenantConfig(name="quiet", queue_limit=1),
+            ]
+        )
+        assert gate.offer(make_request(tenant="noisy"), 0.0, 0.0)[0] is None
+        # noisy's full queue does not block quiet
+        assert gate.offer(make_request(tenant="quiet"), 0.0, 0.0)[0] is None
+
+
+class TestOverloadShedding:
+    def two_tenant_gate(self, max_backlog=2):
+        return AdmissionController(
+            [TenantConfig(name="t0"), TenantConfig(name="t1")],
+            max_backlog=max_backlog,
+        )
+
+    def test_low_priority_victim_evicted(self):
+        gate = self.two_tenant_gate()
+        gate.offer(make_request(tenant="t0", priority=0), 0.0, 0.0)
+        gate.offer(make_request(tenant="t1", priority=2), 0.0, 0.0)
+        refusal, shed = gate.offer(
+            make_request(tenant="t0", priority=1), 1.0, 1.0
+        )
+        assert refusal is None  # newcomer got the freed slot
+        assert len(shed) == 1
+        assert shed[0].outcome is Outcome.SHED
+        assert shed[0].request.priority == 0
+        assert shed[0].reason == "overload"
+        assert gate.total_backlog == 2
+
+    def test_newcomer_shed_when_lowest(self):
+        gate = self.two_tenant_gate()
+        gate.offer(make_request(tenant="t0", priority=1), 0.0, 0.0)
+        gate.offer(make_request(tenant="t1", priority=1), 0.0, 0.0)
+        refusal, shed = gate.offer(
+            make_request(tenant="t0", priority=0), 1.0, 1.0
+        )
+        assert refusal is not None
+        assert refusal.outcome is Outcome.SHED
+        assert shed == []
+        assert gate.total_backlog == 2
+
+    def test_tie_sheds_youngest(self):
+        gate = self.two_tenant_gate()
+        gate.offer(make_request(tenant="t0", priority=0), 0.0, 0.0)  # seq 1
+        gate.offer(make_request(tenant="t1", priority=0), 0.0, 0.0)  # seq 2
+        _, shed = gate.offer(
+            make_request(tenant="t0", priority=1), 1.0, 1.0
+        )
+        assert len(shed) == 1
+        assert shed[0].request.tenant == "t1"  # the younger equal-priority
+
+
+class TestDeadlines:
+    def test_expired_requests_cancelled(self):
+        gate = AdmissionController([TenantConfig(name="t0")])
+        gate.offer(make_request(deadline_s=1.0), 0.0, 0.0)
+        gate.offer(make_request(deadline_s=10.0), 0.0, 0.0)
+        assert gate.expire_deadlines(0.5) == []
+        expired = gate.expire_deadlines(2.0)
+        assert len(expired) == 1
+        assert expired[0].outcome is Outcome.TIMED_OUT
+        assert expired[0].reason == "deadline"
+        assert expired[0].queue_time_s == pytest.approx(2.0)
+        assert gate.total_backlog == 1
+
+    def test_patient_requests_never_expire(self):
+        gate = AdmissionController([TenantConfig(name="t0")])
+        gate.offer(make_request(), 0.0, 0.0)
+        assert gate.expire_deadlines(1e9) == []
+
+
+class TestTenantStats:
+    def test_conservation_cross_checks_intake(self):
+        stats = TenantStats()
+        stats.note_submitted()
+        assert not stats.conserved()  # intake without an outcome yet
+        stats.record(
+            Response(request=make_request(), outcome=Outcome.OK)
+        )
+        assert stats.conserved()
+        assert stats.accepted == 1

@@ -1,0 +1,143 @@
+"""Tests for the QoS scheduler: weighted fairness and compile-probe packing."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.query import parse_query
+from repro.params import SystemParams
+from repro.service.admission import AdmissionController
+from repro.service.qos import QoSScheduler
+from repro.service.request import Request, TenantConfig
+
+PARAMS = SystemParams()
+
+
+def scheduler(max_batch=8):
+    return QoSScheduler(PARAMS.cuckoo, seed=0, max_batch=max_batch)
+
+
+def fill(gate, tenant, count, text="alpha"):
+    for _ in range(count):
+        refusal, _ = gate.offer(
+            Request(tenant=tenant, query=parse_query(text)), 0.0, 0.0
+        )
+        assert refusal is None
+
+
+class TestPacking:
+    def test_singles_pack_into_one_pass(self):
+        gate = AdmissionController([TenantConfig(name="t0", queue_limit=16)])
+        fill(gate, "t0", 8)
+        batch = scheduler().next_batch(gate)
+        assert len(batch) == 8
+        assert gate.total_backlog == 0
+
+    def test_max_batch_caps_the_pass(self):
+        gate = AdmissionController([TenantConfig(name="t0", queue_limit=16)])
+        fill(gate, "t0", 8)
+        batch = scheduler(max_batch=3).next_batch(gate)
+        assert len(batch) == 3
+        assert gate.total_backlog == 5
+
+    def test_oversized_program_parks_tenant(self):
+        # eight 8-way unions exhaust the flag-pair budget: after the first
+        # member, further heads stop fitting and the pass closes early
+        big = " OR ".join(f'"tok{i}"' for i in range(8))
+        gate = AdmissionController([TenantConfig(name="t0", queue_limit=16)])
+        fill(gate, "t0", 4, text=big)
+        batch = scheduler().next_batch(gate)
+        assert 1 <= len(batch) < 4
+        assert gate.total_backlog == 4 - len(batch)
+
+    def test_first_member_always_ships(self):
+        # even a program too large to compile alone leaves as a batch of
+        # one — the engine falls back to software evaluation for it
+        monster = " OR ".join(f'"tok{i}"' for i in range(40))
+        gate = AdmissionController([TenantConfig(name="t0")])
+        fill(gate, "t0", 1, text=monster)
+        batch = scheduler().next_batch(gate)
+        assert len(batch) == 1
+        assert gate.total_backlog == 0
+
+    def test_empty_queues_give_empty_batch(self):
+        gate = AdmissionController([TenantConfig(name="t0")])
+        assert len(scheduler().next_batch(gate)) == 0
+
+
+class TestWeightedFairness:
+    def drain(self, gate, sched):
+        served = []
+        while gate.total_backlog:
+            batch = sched.next_batch(gate)
+            served.extend(batch.tenants)
+        return served
+
+    def test_equal_weights_interleave(self):
+        gate = AdmissionController(
+            [
+                TenantConfig(name="a", queue_limit=16),
+                TenantConfig(name="b", queue_limit=16),
+            ]
+        )
+        fill(gate, "a", 6)
+        fill(gate, "b", 6)
+        sched = scheduler(max_batch=2)
+        first = sched.next_batch(gate)
+        # one from each: neither tenant gets both slots of the pass
+        assert sorted(first.tenants) == ["a", "b"]
+
+    def test_heavier_weight_served_more(self):
+        gate = AdmissionController(
+            [
+                TenantConfig(name="heavy", weight=3.0, queue_limit=32),
+                TenantConfig(name="light", weight=1.0, queue_limit=32),
+            ]
+        )
+        fill(gate, "heavy", 12)
+        fill(gate, "light", 12)
+        sched = scheduler(max_batch=4)
+        served = []
+        for _ in range(3):  # first three passes under contention
+            served.extend(sched.next_batch(gate).tenants)
+        counts = Counter(served)
+        assert counts["heavy"] > counts["light"]
+        # ... but everything is eventually served (no starvation)
+        served.extend(self.drain(gate, sched))
+        assert Counter(served) == {"heavy": 12, "light": 12}
+
+    def test_reset_forgets_virtual_work(self):
+        sched = scheduler()
+        sched.virtual_work["a"] = 5.0
+        sched.reset()
+        assert sched.virtual_work == {}
+
+
+class TestScheduledRunAttribution:
+    """Satellite: per-query queue/service times on the system scheduler."""
+
+    def test_times_align_with_groups(self):
+        from repro.datasets.synthetic import generator_for
+        from repro.system.mithrilog import MithriLogSystem
+        from repro.system.scheduler import QueryScheduler
+
+        system = MithriLogSystem()
+        system.ingest(generator_for("Liberty2").generate(1500))
+        queries = [parse_query('"FAILURE"'), parse_query('"kernel:"')]
+        run = QueryScheduler(system).run(queries)
+        assert len(run.queue_times_s) == len(queries)
+        assert len(run.service_times_s) == len(queries)
+        for group, outcome in zip(run.groups, run.outcomes):
+            for index in group:
+                assert run.service_times_s[index] == pytest.approx(
+                    outcome.stats.elapsed_s
+                )
+        # queue time is the makespan consumed before the group starts:
+        # first group waits zero, and every latency is within makespan
+        assert run.queue_times_s[run.groups[0][0]] == 0.0
+        for latency in run.per_query_latency_s:
+            assert 0 < latency <= run.makespan_s + 1e-12
+        # latency decomposition is exact
+        assert run.per_query_latency_s == [
+            q + s for q, s in zip(run.queue_times_s, run.service_times_s)
+        ]

@@ -77,9 +77,9 @@ class TestFilterReads:
 
     def test_reconfigure_replaces_previous_query(self, device):
         addrs = device.append_pages([Page(b"a\nb\n")])
-        device.configure(decompress_page=lambda p: p, line_filter=lambda l: l == b"a")
+        device.configure(decompress_page=lambda p: p, line_filter=lambda ln: ln == b"a")
         assert device.read(addrs, mode=ReadMode.FILTER).data == b"a\n"
-        device.configure(decompress_page=lambda p: p, line_filter=lambda l: l == b"b")
+        device.configure(decompress_page=lambda p: p, line_filter=lambda ln: ln == b"b")
         assert device.read(addrs, mode=ReadMode.FILTER).data == b"b\n"
 
 
@@ -94,7 +94,7 @@ class TestDeviceTiming:
         device = MithriLogDevice(params)
         text = b"k\n" + b"d\n" * 499  # 1000 bytes, only one line kept
         addrs = device.append_pages([Page(text)])
-        device.configure(decompress_page=lambda p: p, line_filter=lambda l: l == b"k")
+        device.configure(decompress_page=lambda p: p, line_filter=lambda ln: ln == b"k")
 
         clock = SimClock()
         filtered = device.read(addrs, mode=ReadMode.FILTER, clock=clock)

@@ -44,7 +44,7 @@ class TestIngest:
     def test_compression_packs_multiple_lines_per_page(self, corpus):
         fresh = MithriLogSystem()
         report = fresh.ingest(corpus[:500])
-        text_bytes = sum(len(l) + 1 for l in corpus[:500])
+        text_bytes = sum(len(ln) + 1 for ln in corpus[:500])
         naive_pages = -(-text_bytes // fresh.params.storage.page_bytes)
         # compression must beat storing raw text by a wide margin
         assert report.pages_written < naive_pages
@@ -142,7 +142,7 @@ class TestTimeBoundedQueries:
     def test_time_range_query(self):
         gen = generator_for("BGL2")
         lines = gen.generate(1000)
-        epochs = [float(l.split()[1]) for l in lines]
+        epochs = [float(ln.split()[1]) for ln in lines]
         system = MithriLogSystem()
         system.ingest(lines, timestamps=epochs)
         system.index.flush(timestamp=epochs[-1])

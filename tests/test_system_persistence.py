@@ -17,7 +17,7 @@ def corpus():
 @pytest.fixture()
 def saved(tmp_path, corpus):
     system = MithriLogSystem()
-    epochs = [float(l.split()[1]) for l in corpus]
+    epochs = [float(ln.split()[1]) for ln in corpus]
     system.ingest(corpus, timestamps=epochs)
     system.index.flush(timestamp=epochs[-1])
     save_store(system, tmp_path / "store")

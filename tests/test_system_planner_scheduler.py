@@ -3,7 +3,7 @@
 import pytest
 
 from repro.baselines.grep import grep_lines
-from repro.core.query import Query, Term, parse_query
+from repro.core.query import Query, parse_query
 from repro.datasets.synthetic import generator_for
 from repro.system.mithrilog import MithriLogSystem
 from repro.system.planner import QueryPlanner

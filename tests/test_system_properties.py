@@ -77,7 +77,7 @@ class TestEndToEndOracle:
         for addr in system.index.data_pages:
             page = system.device.flash.read_page(addr)
             rebuilt.append(system.codec.decompress(page.data))
-        assert b"".join(rebuilt) == b"".join(l + b"\n" for l in lines)
+        assert b"".join(rebuilt) == b"".join(ln + b"\n" for ln in lines)
 
     @given(_corpus(), _corpus(), _query())
     @settings(

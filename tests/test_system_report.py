@@ -1,6 +1,5 @@
 """Tests for the benchmark text renderers (repro.system.report)."""
 
-import math
 
 import pytest
 

@@ -82,7 +82,7 @@ class TestQueryMidStream:
 
 class TestSnapshotCadence:
     def test_snapshots_fire_on_time_cadence(self, corpus):
-        epochs = [float(l.split()[1]) for l in corpus]
+        epochs = [float(ln.split()[1]) for ln in corpus]
         span = epochs[-1] - epochs[0]
         system = MithriLogSystem()
         ingestor = StreamingIngestor(
@@ -98,3 +98,45 @@ class TestSnapshotCadence:
         ingestor.extend(corpus[:300])
         ingestor.flush()
         assert len(system.index.snapshots.snapshots) == 0
+
+
+class TestPendingCap:
+    def test_cap_validation(self):
+        with pytest.raises(IngestError):
+            StreamingIngestor(MithriLogSystem(), max_pending_lines=0)
+        with pytest.raises(IngestError):
+            StreamingIngestor(MithriLogSystem(), overflow="drop-oldest")
+
+    def test_raise_policy_surfaces_backpressure(self, corpus):
+        ingestor = StreamingIngestor(
+            MithriLogSystem(), batch_lines=512, max_pending_lines=3
+        )
+        ingestor.extend(corpus[:3])
+        with pytest.raises(IngestError, match="pending buffer full"):
+            ingestor.append(corpus[3])
+        # the buffer itself is intact: flushing drains it and unblocks
+        assert ingestor.flush() == 3
+        ingestor.append(corpus[3])
+        assert ingestor.pending_lines == 1
+
+    def test_shed_policy_drops_and_counts(self, corpus):
+        ingestor = StreamingIngestor(
+            MithriLogSystem(),
+            batch_lines=512,
+            max_pending_lines=5,
+            overflow="shed",
+        )
+        ingestor.extend(corpus[:20])
+        assert ingestor.pending_lines == 5
+        assert ingestor.lines_shed == 15
+        ingestor.flush()
+        assert ingestor.lines_ingested == 5
+
+    def test_cap_above_batch_never_binds(self, corpus):
+        # auto-flush at batch_lines empties the buffer before the cap
+        ingestor = StreamingIngestor(
+            MithriLogSystem(), batch_lines=50, max_pending_lines=100
+        )
+        ingestor.extend(corpus[:500])
+        assert ingestor.lines_shed == 0
+        assert ingestor.pending_lines < 50

@@ -85,7 +85,7 @@ class TestCrashRecovery:
         assert journaled.wal.size_bytes == 0
 
     def test_recovery_preserves_timestamps(self, tmp_path, corpus):
-        epochs = [float(l.split()[1]) for l in corpus[:300]]
+        epochs = [float(ln.split()[1]) for ln in corpus[:300]]
         journaled = JournaledMithriLog(tmp_path / "store")
         journaled.ingest(corpus[:300], timestamps=epochs)
         recovered = JournaledMithriLog.recover(tmp_path / "store")

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.query import Term
 from repro.errors import QueryError
-from repro.templates.fttree import FTTree, FTTreeParams, Template, WILDCARD
+from repro.templates.fttree import FTTree, FTTreeParams, Template
 
 
 def figure7_corpus():

@@ -80,7 +80,6 @@ class TestQueryWorkload:
     def test_pairs_are_unions_of_two(self, tree):
         workload = build_workload(tree, num_pairs=5)
         for pair in workload.pairs:
-            single_sets = sum(len(q.intersections) for q in workload.singles[:1])
             assert len(pair.intersections) >= 2
 
     def test_combo_semantics_is_or(self, tree):

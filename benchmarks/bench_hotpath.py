@@ -5,17 +5,21 @@ executions of the same 16-query workload the scan executor provides —
 
 - ``serial``   : one :meth:`scan_all` per query, page cache disabled.
   This is the pre-executor behaviour and the speedup baseline.
-- ``batched``  : one :meth:`scan_all(*queries)` pass, cache disabled.
-  Every page is decompressed and tokenized once for all queries.
+- ``batched``  : one :meth:`scan_all(*queries)` pass, cache disabled,
+  on the default (vectorized) scan kernel. Every page is decompressed
+  and tokenized once for all queries.
+- ``batched-ref`` : the same batched pass pinned to the byte-at-a-time
+  reference kernel — the yardstick the ``--min-vector-speedup`` gate
+  measures the vectorized kernel against in the same run.
 - ``parallel`` : the batched pass fanned out over ``--workers``
   processes through :class:`repro.exec.ScanExecutor`.
 - ``cached``   : the batched pass re-run against a warm page cache.
 
 Before timing anything it verifies the modes agree: per-query match
 counts from the serial runs must equal the batched pass's counts, and
-the parallel pass must return byte-identical data and identical
-simulated stats at every worker count. Any divergence exits non-zero,
-which is what the CI ``perf-smoke`` job keys off.
+the reference-kernel, parallel, and cached passes must return byte
+-identical data and identical simulated stats. Any divergence exits
+non-zero, which is what the CI ``perf-smoke`` job keys off.
 
 Results append to ``BENCH_hotpath.json`` (``--out``), one record per
 mode per run: ``{"bench", "config", "wall_s", "speedup"}`` — the
@@ -77,8 +81,15 @@ def build_queries(lines: list[bytes], count: int) -> list[Query]:
     return queries
 
 
-def fresh_system(lines: list[bytes], seed: int, cache_pages: int) -> MithriLogSystem:
-    system = MithriLogSystem(seed=seed, cache_pages=cache_pages)
+def fresh_system(
+    lines: list[bytes],
+    seed: int,
+    cache_pages: int,
+    kernel: str | None = None,
+) -> MithriLogSystem:
+    system = MithriLogSystem(
+        seed=seed, cache_pages=cache_pages, scan_kernel=kernel
+    )
     system.ingest(lines)
     return system
 
@@ -107,6 +118,12 @@ def run(args: argparse.Namespace) -> int:
     batched_system = fresh_system(lines, args.seed, cache_pages=0)
     batched, batched_s = timed(lambda: batched_system.scan_all(*queries))
 
+    # -- batched-ref: same pass pinned to the reference kernel -----------
+    ref_system = fresh_system(
+        lines, args.seed, cache_pages=0, kernel="reference"
+    )
+    batched_ref, batched_ref_s = timed(lambda: ref_system.scan_all(*queries))
+
     # -- parallel: the batched pass over a worker pool -------------------
     parallel_system = fresh_system(lines, args.seed, cache_pages=0)
     parallel_system.scan_all(*queries, workers=args.workers)  # warm the pool
@@ -128,7 +145,11 @@ def run(args: argparse.Namespace) -> int:
             f"batched per-query counts {batched.per_query_counts} != "
             f"serial counts {serial_counts}"
         )
-    for name, outcome in (("parallel", parallel), ("cached", cached)):
+    for name, outcome in (
+        ("batched-ref", batched_ref),
+        ("parallel", parallel),
+        ("cached", cached),
+    ):
         if outcome.matched_lines != batched.matched_lines:
             failures.append(f"{name} scan data diverges from batched scan")
         if outcome.per_query_counts != batched.per_query_counts:
@@ -148,6 +169,9 @@ def run(args: argparse.Namespace) -> int:
         {"bench": "hotpath", "config": f"batched-{args.queries}q",
          "wall_s": round(batched_s, 4),
          "speedup": round(serial_s / batched_s, 2)},
+        {"bench": "hotpath", "config": f"batched-{args.queries}q-ref",
+         "wall_s": round(batched_ref_s, 4),
+         "speedup": round(serial_s / batched_ref_s, 2)},
         {"bench": "hotpath",
          "config": f"parallel-{args.queries}q-w{args.workers}",
          "wall_s": round(parallel_s, 4),
@@ -189,6 +213,19 @@ def run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    vector_speedup = batched_ref_s / batched_s
+    if args.min_vector_speedup and vector_speedup < args.min_vector_speedup:
+        print(
+            f"FAIL: vectorized kernel only {vector_speedup:.2f}x the "
+            f"reference kernel on the batched pass, below the "
+            f"{args.min_vector_speedup:.1f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"vectorized kernel is {vector_speedup:.2f}x the reference "
+        f"kernel on the batched pass"
+    )
     return 0
 
 
@@ -204,6 +241,13 @@ def main(argv=None) -> int:
         "--min-speedup", type=float, default=2.0,
         help="fail when the batched scan is not this much faster than "
         "per-query serial scans (0 disables the gate)",
+    )
+    parser.add_argument(
+        "--min-vector-speedup", type=float, default=1.2,
+        help="fail when the vectorized kernel is not this much faster "
+        "than the reference kernel on the batched pass, measured in the "
+        "same run (0 disables the gate; the default leaves headroom for "
+        "host noise — typical wins are 1.4-1.7x on this workload)",
     )
     parser.add_argument(
         "--explain-out",

@@ -259,6 +259,101 @@ class LZAHCompressor(Compressor):
             )
         return decoded
 
+    def decompress_into(self, data: bytes, arena) -> memoryview:
+        """Decode one stream directly into a :class:`DecodeArena` buffer.
+
+        Zero-copy variant of :meth:`decompress`: the declared
+        uncompressed length sizes an arena view up front and every window
+        word is written in place, so the page's text never exists as an
+        intermediate ``bytes`` object. Byte-identical output and the same
+        :class:`repro.errors.CompressedFormatError` cases as
+        :meth:`decompress` — the differential suite pins both down. The
+        returned view is valid only until the arena's next ``request``.
+        """
+        p = self.params
+        if len(data) < _LEN_HEADER:
+            raise CompressedFormatError("LZAH stream shorter than its header")
+        total_len = int.from_bytes(data[0:4], "little")
+        num_pairs = int.from_bytes(data[4:8], "little")
+        expected_crc = int.from_bytes(data[8:12], "little")
+        header_bytes = p.pairs_per_chunk // 8
+        word_bytes = p.word_bytes
+        slots = p.hash_table_slots
+        realign = p.newline_realign
+        pairs_per_chunk = p.pairs_per_chunk
+        from_bytes = int.from_bytes
+        data_len = len(data)
+
+        # a corrupt header may declare an absurd total_len; the stream can
+        # produce at most word_bytes per pair, so size the arena by what
+        # the payload bytes could actually decode to and let the
+        # produced != total_len check reject the lie without a huge alloc
+        max_producible = (
+            (data_len - _LEN_HEADER) // _INDEX_BYTES + pairs_per_chunk
+        ) * word_bytes
+        out = arena.request(min(total_len, max_producible))
+
+        table: list[Optional[bytes]] = [None] * slots
+        hash_word = self._hash
+        pos = _LEN_HEADER
+        produced = 0
+        remaining = num_pairs
+        while remaining > 0:
+            if pos + header_bytes > data_len:
+                raise CompressedFormatError("truncated LZAH chunk header")
+            header = from_bytes(data[pos : pos + header_bytes], "little")
+            pos += header_bytes
+            in_chunk = remaining if remaining < pairs_per_chunk else pairs_per_chunk
+            for _ in range(in_chunk):
+                if header & 1:
+                    if pos + _INDEX_BYTES > data_len:
+                        raise CompressedFormatError("truncated LZAH match index")
+                    slot = data[pos] | (data[pos + 1] << 8)
+                    pos += _INDEX_BYTES
+                    if slot >= slots:
+                        raise CompressedFormatError(
+                            f"LZAH match index {slot} outside table"
+                        )
+                    padded = table[slot]
+                    if padded is None:
+                        raise CompressedFormatError(
+                            f"LZAH match references empty slot {slot}"
+                        )
+                else:
+                    end = pos + word_bytes
+                    if end > data_len:
+                        raise CompressedFormatError("truncated LZAH literal word")
+                    padded = data[pos:end]
+                    pos = end
+                    table[hash_word(padded)] = padded
+                header >>= 1
+                if realign:
+                    nl = padded.find(b"\n")
+                    consumed = padded[: nl + 1] if nl != -1 else padded
+                else:
+                    consumed = padded
+                new_produced = produced + len(consumed)
+                if new_produced > total_len:
+                    # only the final window may overrun the declared length
+                    consumed = consumed[: total_len - produced]
+                    new_produced = total_len
+                out[produced:new_produced] = consumed
+                produced = new_produced
+            remaining -= in_chunk
+            # skip the chunk's alignment padding
+            tail = (pos - _LEN_HEADER) % word_bytes
+            if tail:
+                pos += word_bytes - tail
+        if produced != total_len:
+            raise CompressedFormatError(
+                f"LZAH stream declared {total_len} bytes but decoded {produced}"
+            )
+        if zlib.crc32(out) != expected_crc:
+            raise CompressedFormatError(
+                "LZAH stream checksum mismatch: decoded data is corrupt"
+            )
+        return out
+
     def decompress_words(self, data: bytes) -> Iterator[tuple[bytes, bytes]]:
         """Decode a stream word by word (reference decoder).
 

@@ -15,20 +15,37 @@ Public surface:
 - :mod:`repro.core.pipeline` — one filter pipeline (Figure 3).
 - :mod:`repro.core.engine` — the multi-pipeline engine with query
   compilation, concurrent-query support and software fallback.
+- :mod:`repro.core.backend` — scan backend/kernel selection (numpy vs
+  pure-Python fallback; vectorized vs reference kernel).
+- :mod:`repro.core.vectokenizer` — the offset-array tokenizer feeding
+  the vectorized scan kernel.
 """
 
+from repro.core.backend import (
+    BackendUnavailableError,
+    available_backends,
+    resolve_backend,
+    resolve_kernel,
+)
 from repro.core.engine import EngineResult, TokenFilterEngine
 from repro.core.query import IntersectionSet, Query, Term, parse_query
 from repro.core.tokenizer import Tokenizer, TokenWord, split_tokens
+from repro.core.vectokenizer import PageTokens, tokenize_page_offsets
 
 __all__ = [
+    "BackendUnavailableError",
     "EngineResult",
     "IntersectionSet",
+    "PageTokens",
     "Query",
     "Term",
     "TokenFilterEngine",
     "TokenWord",
     "Tokenizer",
+    "available_backends",
     "parse_query",
+    "resolve_backend",
+    "resolve_kernel",
     "split_tokens",
+    "tokenize_page_offsets",
 ]

@@ -194,6 +194,22 @@ class TokenFilterEngine:
                 self._m_lines_kept.inc(kept)
         return result
 
+    def account_filtered(self, lines: int, kept: Optional[int] = None) -> None:
+        """Bump the filtering metrics for lines evaluated elsewhere.
+
+        The scan kernels return per-query verdicts directly, so the
+        system no longer re-runs :meth:`filter_lines` over matched lines
+        just to count them — this keeps the
+        ``mithrilog_pipeline_lines_*`` metrics identical to what that
+        recount used to record (matched lines are by definition kept).
+        """
+        if kept is None:
+            kept = lines
+        if self._m_lines_filtered is not None and lines:
+            self._m_lines_filtered.inc(lines)
+            if kept:
+                self._m_lines_kept.inc(kept)
+
     def keep_line(self, line: bytes) -> bool:
         """Single-line predicate (any query keeps it).
 

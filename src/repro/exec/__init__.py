@@ -19,6 +19,7 @@ trajectory these pieces are measured by.
 
 from repro.exec.cache import DEFAULT_CACHE_PAGES, PageCache, payload_fingerprint
 from repro.exec.executor import (
+    KernelResult,
     ScanAggregate,
     ScanExecutor,
     ScanProgramSpec,
@@ -26,6 +27,7 @@ from repro.exec.executor import (
 
 __all__ = [
     "DEFAULT_CACHE_PAGES",
+    "KernelResult",
     "PageCache",
     "payload_fingerprint",
     "ScanAggregate",

@@ -156,6 +156,12 @@ class PageCache:
         """Store one decode, evicting the least recently used past the bound."""
         if self.max_pages <= 0:
             return
+        if not isinstance(decoded, bytes):
+            # the zero-copy scan path decodes into a recycled arena; a
+            # memoryview/bytearray stored here would be silently rewritten
+            # by the *next* page's decode and serve stale bytes forever
+            # after — snapshot to immutable bytes at the cache boundary
+            decoded = bytes(decoded)
         entries = self._entries
         entries[(device_key, address)] = (
             codec_key,

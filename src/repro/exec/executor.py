@@ -10,6 +10,20 @@ evaluation for *all* queries at once — out over a process pool, while
 flash reads, fault injection, retry accounting and simulated timing stay
 in the calling process, in page order, exactly as the serial path does.
 
+The partition kernel itself comes in two equivalence-tested variants,
+selected by :class:`ScanProgramSpec.kernel`:
+
+- ``vectorized`` — the zero-copy hot path: pages decompress into a
+  reusable :class:`~repro.compression.arena.DecodeArena`, tokenization
+  emits offset arrays (``repro.core.vectokenizer``), and the filter runs
+  the signature-prefiltered array kernel
+  (:meth:`~repro.core.hashfilter.HashFilter.evaluate_token_arrays` for
+  offloaded programs, :class:`~repro.core.softmatch
+  .SoftwareBatchMatcher` for programs that exceeded hardware
+  provisioning and run in software).
+- ``reference`` — PR 3's per-page token-list path, retained verbatim as
+  the oracle the differential suite compares against.
+
 Determinism is by construction: ``workers=1`` runs the very same
 partition kernel inline (no pool, no processes), partitions are
 contiguous slices of the candidate list, and results are concatenated in
@@ -51,7 +65,11 @@ class ScanProgramSpec:
     Workers recompile the query program from first principles
     (:func:`repro.core.hashfilter.compile_queries` is deterministic in
     ``(queries, params, seed)``), so nothing stateful crosses the process
-    boundary — only frozen parameter dataclasses and query algebra.
+    boundary — only frozen parameter dataclasses, query algebra, and the
+    resolved kernel/backend names. The parent resolves ``kernel`` and
+    ``backend`` (env vars, numpy availability) *before* building the
+    spec so every pool worker runs the same code path even if its own
+    environment would resolve differently.
     """
 
     queries: tuple[Query, ...]
@@ -59,6 +77,8 @@ class ScanProgramSpec:
     seed: int
     offloaded: bool
     lzah_params: LZAHParams
+    kernel: str = "reference"
+    backend: str = "fallback"
 
 
 @dataclass(frozen=True)
@@ -69,6 +89,12 @@ class ScanAggregate:
     .PartitionProfile` per executed partition (a single record on the
     inline path), in page order — the per-partition view the parent
     turns into trace spans. ``profile`` is their stage-wise merge.
+    ``per_query_counts`` is the number of kept lines per concurrent
+    query (partition sums — worker-count invariant); ``decoded`` is only
+    populated on the inline path when the caller asked for the decoded
+    pages back (one immutable ``bytes`` per item, ``None`` for pages
+    that arrived already decoded), so the parent can feed its PageCache
+    without a second decompression pass.
     """
 
     data: bytes  #: concatenated per-page FILTER output (kept lines)
@@ -77,9 +103,24 @@ class ScanAggregate:
     lines_kept: int
     partitions: tuple[PartitionProfile, ...] = ()
     profile: tuple[tuple[str, StageProfile], ...] = ()
+    per_query_counts: tuple[int, ...] = ()
+    decoded: tuple = ()
 
     def profile_dict(self) -> dict[str, StageProfile]:
         return dict(self.profile)
+
+
+@dataclass(frozen=True)
+class KernelResult:
+    """One partition's output (picklable — crosses the pool boundary)."""
+
+    data: bytes
+    bytes_decompressed: int
+    lines_seen: int
+    lines_kept: int
+    per_query_counts: tuple[int, ...]
+    stages: tuple[tuple[str, StageProfile], ...]
+    decoded: tuple = ()
 
 
 #: Per-process memo of compiled filter programs, keyed by the hashable
@@ -90,26 +131,38 @@ _PROGRAM_MEMO: dict = {}
 #: Per-process memo of LZAH codecs by parameter bundle.
 _CODEC_MEMO: dict = {}
 
+#: Per-process decode arena, grown to the largest page seen and recycled
+#: across partitions and scans (the zero-copy path's whole point).
+_ARENA = None
+
+#: Per-process memo of software batch matchers, keyed by the query tuple.
+_MATCHER_MEMO: dict = {}
+
 
 def _partition_kernel(
-    spec: ScanProgramSpec, items: Sequence[tuple[bool, bytes]]
-) -> tuple[bytes, int, int, int, tuple[tuple[str, StageProfile], ...]]:
+    spec: ScanProgramSpec,
+    items: Sequence[tuple[bool, bytes]],
+    want_decoded: bool = False,
+) -> KernelResult:
     """Scan one contiguous partition of pages.
 
     ``items`` holds ``(is_decoded, payload)`` pairs in page order: cache
     hits arrive already decoded, misses arrive compressed and are decoded
-    here (this is the work the fan-out parallelises). Returns
-    ``(data, bytes_decompressed, lines_seen, lines_kept, profile)`` with
-    ``data`` byte-identical to the device FILTER path's per-page output
-    and ``profile`` the partition's per-stage host accounting — the
+    here (this is the work the fan-out parallelises). The returned
+    :class:`KernelResult` carries ``data`` byte-identical to the device
+    FILTER path's per-page output and per-stage host accounting — the
     record that makes subprocess work visible to the parent's registry
     and tracer (pool workers' own metrics die with the pool).
 
     Module-level and argument-picklable so it runs identically inline
     (``workers=1``) and in a pool worker.
     """
-    from repro.compression.lzah import LZAHCompressor
     from repro.core.hashfilter import HashFilter
+
+    if spec.kernel == "vectorized":
+        return _vectorized_kernel(spec, items, want_decoded)
+
+    from repro.compression.lzah import LZAHCompressor
 
     codec = _CODEC_MEMO.get(spec.lzah_params)
     if codec is None:
@@ -119,29 +172,30 @@ def _partition_kernel(
 
     verdict_fn = None
     if spec.offloaded:
-        memo_key = (spec.queries, spec.cuckoo_params, spec.seed)
-        program = _PROGRAM_MEMO.get(memo_key)
-        if program is None:
-            program = compile_queries(
-                spec.queries, params=spec.cuckoo_params, seed=spec.seed
-            )
-            _PROGRAM_MEMO[memo_key] = program
+        program = _compiled_program(spec)
         verdict_fn = HashFilter(program).evaluate_token_lists
     queries = spec.queries
+    num_queries = len(queries)
 
     profile = ProfileBuilder()
     clock = time.perf_counter
     out_chunks: list[bytes] = []
+    decoded_pages: list = []
+    counts = [0] * num_queries
     bytes_decompressed = 0
     lines_seen = 0
     lines_kept = 0
     for is_decoded, payload in items:
         if is_decoded:
             text = payload  # cache hit: the decode was skipped upstream
+            if want_decoded:
+                decoded_pages.append(None)
         else:
             t0 = clock()
             text = decode(payload)
             profile.add("decompress", units=len(text), wall_s=clock() - t0)
+            if want_decoded:
+                decoded_pages.append(text)
         bytes_decompressed += len(text)
         t0 = clock()
         raw_lines, token_lists = tokenize_page(text)
@@ -150,27 +204,132 @@ def _partition_kernel(
         t0 = clock()
         if verdict_fn is not None:
             verdicts = verdict_fn(token_lists)
-            kept = [
-                line
-                for line, verdict in zip(raw_lines, verdicts)
-                if True in verdict
-            ]
         else:
-            kept = [
-                line
-                for line, tokens in zip(raw_lines, token_lists)
-                if any(q.matches_tokens(tokens) for q in queries)
+            verdicts = [
+                tuple(q.matches_tokens(tokens) for q in queries)
+                for tokens in token_lists
             ]
+        kept = []
+        for line, verdict in zip(raw_lines, verdicts):
+            if True in verdict:
+                kept.append(line)
+                for q in range(num_queries):
+                    if verdict[q]:
+                        counts[q] += 1
         profile.add("filter", units=len(raw_lines), wall_s=clock() - t0)
         lines_kept += len(kept)
         out_chunks.append(b"\n".join(kept) + (b"\n" if kept else b""))
-    return (
-        b"".join(out_chunks),
-        bytes_decompressed,
-        lines_seen,
-        lines_kept,
-        profile.build_items(),
+    return KernelResult(
+        data=b"".join(out_chunks),
+        bytes_decompressed=bytes_decompressed,
+        lines_seen=lines_seen,
+        lines_kept=lines_kept,
+        per_query_counts=tuple(counts),
+        stages=profile.build_items(),
+        decoded=tuple(decoded_pages) if want_decoded else (),
     )
+
+
+def _vectorized_kernel(
+    spec: ScanProgramSpec,
+    items: Sequence[tuple[bool, bytes]],
+    want_decoded: bool,
+) -> KernelResult:
+    """Zero-copy partition scan: arena decode → offset arrays → batch filter.
+
+    Produces a :class:`KernelResult` byte-identical to the reference
+    kernel's (the differential suite and the workers×kernel invariance
+    tests pin this down), including identical stage calls/units — only
+    wall-clock differs.
+    """
+    from repro.compression.arena import DecodeArena
+    from repro.compression.lzah import LZAHCompressor
+    from repro.core.hashfilter import HashFilter
+    from repro.core.vectokenizer import tokenize_page_offsets
+
+    global _ARENA
+    codec = _CODEC_MEMO.get(spec.lzah_params)
+    if codec is None:
+        codec = LZAHCompressor(spec.lzah_params)
+        _CODEC_MEMO[spec.lzah_params] = codec
+    if _ARENA is None:
+        _ARENA = DecodeArena()
+    arena = _ARENA
+    if spec.offloaded:
+        evaluate = HashFilter(_compiled_program(spec)).evaluate_token_arrays
+    else:
+        evaluate = _software_matcher(spec.queries).evaluate
+    backend = spec.backend
+    num_queries = len(spec.queries)
+
+    profile = ProfileBuilder()
+    clock = time.perf_counter
+    out_chunks: list[bytes] = []
+    decoded_pages: list = []
+    counts = [0] * num_queries
+    bytes_decompressed = 0
+    lines_seen = 0
+    lines_kept = 0
+    for is_decoded, payload in items:
+        if is_decoded:
+            text = payload
+            if want_decoded:
+                decoded_pages.append(None)
+        else:
+            t0 = clock()
+            text = codec.decompress_into(payload, arena)
+            profile.add("decompress", units=len(text), wall_s=clock() - t0)
+            if want_decoded:
+                decoded_pages.append(bytes(text))
+        bytes_decompressed += len(text)
+        t0 = clock()
+        page = tokenize_page_offsets(text, backend)
+        profile.add("tokenize", units=page.num_lines, wall_s=clock() - t0)
+        lines_seen += page.num_lines
+        t0 = clock()
+        verdicts = evaluate(page)
+        kept = []
+        for i, verdict in enumerate(verdicts):
+            if True in verdict:
+                kept.append(page.line_bytes(i))
+                for q in range(num_queries):
+                    if verdict[q]:
+                        counts[q] += 1
+        profile.add("filter", units=page.num_lines, wall_s=clock() - t0)
+        lines_kept += len(kept)
+        # kept lines are immutable copies, so recycling the arena for the
+        # next page (the decompress_into above) cannot corrupt them
+        out_chunks.append(b"\n".join(kept) + (b"\n" if kept else b""))
+    return KernelResult(
+        data=b"".join(out_chunks),
+        bytes_decompressed=bytes_decompressed,
+        lines_seen=lines_seen,
+        lines_kept=lines_kept,
+        per_query_counts=tuple(counts),
+        stages=profile.build_items(),
+        decoded=tuple(decoded_pages) if want_decoded else (),
+    )
+
+
+def _software_matcher(queries: tuple[Query, ...]):
+    matcher = _MATCHER_MEMO.get(queries)
+    if matcher is None:
+        from repro.core.softmatch import SoftwareBatchMatcher
+
+        matcher = SoftwareBatchMatcher(queries)
+        _MATCHER_MEMO[queries] = matcher
+    return matcher
+
+
+def _compiled_program(spec: ScanProgramSpec):
+    memo_key = (spec.queries, spec.cuckoo_params, spec.seed)
+    program = _PROGRAM_MEMO.get(memo_key)
+    if program is None:
+        program = compile_queries(
+            spec.queries, params=spec.cuckoo_params, seed=spec.seed
+        )
+        _PROGRAM_MEMO[memo_key] = program
+    return program
 
 
 class ScanExecutor:
@@ -222,7 +381,10 @@ class ScanExecutor:
     # -- scanning --------------------------------------------------------
 
     def scan(
-        self, spec: ScanProgramSpec, items: Sequence[tuple[bool, bytes]]
+        self,
+        spec: ScanProgramSpec,
+        items: Sequence[tuple[bool, bytes]],
+        want_decoded: bool = False,
     ) -> ScanAggregate:
         """Run the filter scan over ``items`` (page order preserved).
 
@@ -230,29 +392,32 @@ class ScanExecutor:
         partition order, and a worker failure (e.g. a corrupt page's
         :class:`repro.errors.CompressedFormatError`) propagates to the
         caller exactly as the inline path would raise it.
+        ``want_decoded`` is honoured on the inline path only — on the
+        pool path the decoded pages stay in the workers (shipping them
+        back would dwarf the scan itself).
         """
         if self.workers == 1 or len(items) <= 1:
             if self._m_partitions is not None:
                 self._m_partitions.inc(mode="inline")
-            data, decompressed, seen, kept, stages = _partition_kernel(
-                spec, items
-            )
+            result = _partition_kernel(spec, items, want_decoded)
             record = PartitionProfile(
                 index=0,
                 pages=len(items),
-                bytes_decompressed=decompressed,
-                lines_seen=seen,
-                lines_kept=kept,
-                stages=stages,
+                bytes_decompressed=result.bytes_decompressed,
+                lines_seen=result.lines_seen,
+                lines_kept=result.lines_kept,
+                stages=result.stages,
             )
-            merge_into_registry(dict(stages))
+            merge_into_registry(dict(result.stages))
             return ScanAggregate(
-                data=data,
-                bytes_decompressed=decompressed,
-                lines_seen=seen,
-                lines_kept=kept,
+                data=result.data,
+                bytes_decompressed=result.bytes_decompressed,
+                lines_seen=result.lines_seen,
+                lines_kept=result.lines_kept,
                 partitions=(record,),
-                profile=stages,
+                profile=result.stages,
+                per_query_counts=result.per_query_counts,
+                decoded=result.decoded,
             )
         pool = self._ensure_pool()
         partitions = _partition_slices(len(items), self.workers)
@@ -264,26 +429,29 @@ class ScanExecutor:
             self._m_partitions.inc(len(futures), mode="pool")
         chunks: list[bytes] = []
         records: list[PartitionProfile] = []
+        counts = [0] * len(spec.queries)
         bytes_decompressed = 0
         lines_seen = 0
         lines_kept = 0
         for index, future in enumerate(futures):  # partition order
-            data, decompressed, seen, kept, stages = future.result()
-            chunks.append(data)
+            result = future.result()
+            chunks.append(result.data)
             start, stop = partitions[index]
             records.append(
                 PartitionProfile(
                     index=index,
                     pages=stop - start,
-                    bytes_decompressed=decompressed,
-                    lines_seen=seen,
-                    lines_kept=kept,
-                    stages=stages,
+                    bytes_decompressed=result.bytes_decompressed,
+                    lines_seen=result.lines_seen,
+                    lines_kept=result.lines_kept,
+                    stages=result.stages,
                 )
             )
-            bytes_decompressed += decompressed
-            lines_seen += seen
-            lines_kept += kept
+            bytes_decompressed += result.bytes_decompressed
+            lines_seen += result.lines_seen
+            lines_kept += result.lines_kept
+            for q, count in enumerate(result.per_query_counts):
+                counts[q] += count
         merged = merge_profiles(r.stage_dict() for r in records)
         # the workers' registries died with their processes; fold their
         # accounting into the parent's here, where it is actually scraped
@@ -295,6 +463,7 @@ class ScanExecutor:
             lines_kept=lines_kept,
             partitions=tuple(records),
             profile=tuple(sorted(merged.items())),
+            per_query_counts=tuple(counts),
         )
 
 

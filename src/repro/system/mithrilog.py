@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 from repro.compression.lzah import LZAHCompressor
+from repro.core.backend import resolve_backend, resolve_kernel
 from repro.core.engine import TokenFilterEngine
 from repro.core.query import Query
 from repro.errors import IngestError, QueryError
@@ -218,8 +219,16 @@ class MithriLogSystem:
         index=None,
         tracer: Optional[SpanTracer] = None,
         cache_pages: int = DEFAULT_CACHE_PAGES,
+        scan_kernel: Optional[str] = None,
+        scan_backend: Optional[str] = None,
     ) -> None:
         self.params = params if params is not None else PROTOTYPE
+        #: Scan kernel/backend overrides (None defers to the
+        #: REPRO_SCAN_KERNEL / REPRO_SCAN_BACKEND environment variables,
+        #: then auto-selection). Resolved per scan, in this process, so
+        #: pool workers inherit the parent's choice via the program spec.
+        self.scan_kernel = scan_kernel
+        self.scan_backend = scan_backend
         self.device = (
             device if device is not None else MithriLogDevice(self.params.storage)
         )
@@ -534,13 +543,21 @@ class MithriLogSystem:
         hits_before = self.page_cache.hits
         misses_before = self.page_cache.misses
         partitions = ()
-        if workers > 1 and limit is None:
+        per_query: Optional[list[int]] = None
+        if limit is None:
+            # all full scans — any worker count — run the partition
+            # kernel (vectorized by default when offloaded); workers=1
+            # executes it inline with no pool
             read, aggregate = self._scan_with_executor(
                 candidates, queries, workers
             )
-            partitions = aggregate.partitions
-            stats.partitions = max(1, len(partitions))
+            if workers > 1:
+                # partition spans only describe actual fan-out; the
+                # inline path keeps the serial trace shape
+                partitions = aggregate.partitions
+            stats.partitions = max(1, len(aggregate.partitions))
             stats.host_profile = profile_to_dict(aggregate.profile_dict())
+            per_query = list(aggregate.per_query_counts)
         else:
             host = ProfileBuilder()
             self.device.configure(
@@ -570,7 +587,12 @@ class MithriLogSystem:
         self._publish_utilization(stats)
 
         matched = read.data.splitlines()
-        per_query = self._per_query_counts(matched, len(queries))
+        if per_query is None:
+            per_query = self._per_query_counts(matched, len(queries))
+        elif matched:
+            # the kernel already produced per-query verdicts; account the
+            # filter-engine metrics the recount used to bump
+            self.engine.account_filtered(len(matched))
         if self._m_queries is not None:
             self._m_queries.inc(path="scan" if stats.index_full_scan else "index")
             self._m_query_seconds.observe(stats.elapsed_s)
@@ -707,14 +729,34 @@ class MithriLogSystem:
                 items.append((True, cached))
             else:
                 items.append((False, payload))
+        # Kernel and backend resolve here, in the parent, so every pool
+        # worker runs the identical code path. Offloaded programs filter
+        # through the compiled cuckoo table's array kernel; software
+        # -fallback programs (provisioning exceeded) go through the batch
+        # matcher in repro.core.softmatch — same vectorized front end.
+        kernel = resolve_kernel(self.scan_kernel)
         spec = ScanProgramSpec(
             queries=tuple(queries),
             cuckoo_params=self.engine.cuckoo_params,
             seed=self.engine.seed,
             offloaded=self.engine.offloaded,
             lzah_params=self.params.lzah,
+            kernel=kernel,
+            backend=resolve_backend(self.scan_backend),
         )
-        aggregate = self._scan_executor_for(workers).scan(spec, items)
+        # the inline path hands decoded pages back so repeated scans hit
+        # the cache exactly as the old serial path did; pool workers keep
+        # their decodes local (shipping pages back would dwarf the scan)
+        want_decoded = workers == 1 and cache.max_pages > 0
+        aggregate = self._scan_executor_for(workers).scan(
+            spec, items, want_decoded=want_decoded
+        )
+        if want_decoded and aggregate.decoded:
+            for address, page, decoded in zip(
+                candidates, pages, aggregate.decoded
+            ):
+                if decoded is not None:
+                    cache.put(device_key, address, codec_key, page.data, decoded)
         self.device.account_host_bytes(len(aggregate.data))
         read = DeviceReadResult(
             data=aggregate.data,

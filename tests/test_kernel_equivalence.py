@@ -19,8 +19,10 @@ from repro.core.tokenizer import (
     split_tokens_reference,
     tokenize_page,
 )
+from repro.datasets.synthetic import generator_for
 from repro.errors import CompressedFormatError
 from repro.params import LZAHParams
+from repro.system.mithrilog import MithriLogSystem
 
 ADVERSARIAL_LINES = [
     b"",
@@ -213,3 +215,97 @@ class TestLZAHDecoder:
         blob = codec.compress(b"some text that compresses\n" * 20)
         with pytest.raises(CompressedFormatError):
             codec.decompress(blob[: len(blob) // 2])
+
+
+class TestScanInvariance:
+    """``scan_all`` is invariant across workers × kernel variants.
+
+    The tentpole guarantee: results, per-query counts, and every
+    *simulated* stat (breakdown, bottleneck attribution, deterministic
+    profile) are identical whether the scan runs the reference or the
+    vectorized kernel, inline or fanned out over a pool. Only host
+    wall-clock may differ.
+    """
+
+    QUERIES = (
+        parse_query("session AND opened"),
+        parse_query("root OR admin"),
+        parse_query("session AND NOT root"),
+    )
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return list(generator_for("Liberty2", seed=13).iter_lines(2500))
+
+    def run_variant(self, corpus, workers, kernel, queries=None, offloaded=True):
+        system = MithriLogSystem(seed=13, cache_pages=0, scan_kernel=kernel)
+        system.ingest(corpus)
+        outcome = system.scan_all(*(queries or self.QUERIES), workers=workers)
+        assert system.engine.offloaded is offloaded
+        system.close()
+        stats = outcome.stats
+        return {
+            "matches": outcome.matched_lines,
+            "per_query": outcome.per_query_counts,
+            "breakdown": stats.breakdown,
+            "bottleneck": stats.bottleneck,
+            "profile": stats.profile,
+            "counts": (
+                stats.pages_read,
+                stats.bytes_from_flash,
+                stats.bytes_decompressed,
+                stats.bytes_to_host,
+                stats.lines_seen,
+                stats.lines_kept,
+            ),
+        }
+
+    def test_results_and_stats_invariant(self, corpus):
+        variants = {
+            (workers, kernel): self.run_variant(corpus, workers, kernel)
+            for workers in (1, 4)
+            for kernel in ("reference", "vectorized")
+        }
+        base = variants[(1, "reference")]
+        assert base["matches"], "scan matched nothing; invariance check is vacuous"
+        assert len(base["per_query"]) == len(self.QUERIES)
+        for key, variant in variants.items():
+            assert variant == base, f"variant {key} diverged from (1, reference)"
+
+    def test_software_fallback_invariance(self, corpus):
+        """A program that exceeds hardware provisioning (more
+        intersection sets than flag pairs) runs in software — there the
+        vectorized kernel routes through the softmatch batch matcher,
+        and the same workers × kernel invariance must hold."""
+        from collections import Counter
+
+        from repro.core.tokenizer import split_tokens
+
+        frequency = Counter(
+            t for line in corpus for t in set(split_tokens(line))
+        )
+        tokens = [
+            t.decode()
+            for t, n in frequency.most_common()
+            if n < len(corpus) and t.isalnum()
+        ]
+        queries = tuple(parse_query(f'"{t}"') for t in tokens[:10])
+        variants = {
+            (workers, kernel): self.run_variant(
+                corpus, workers, kernel, queries=queries, offloaded=False
+            )
+            for workers in (1, 4)
+            for kernel in ("reference", "vectorized")
+        }
+        base = variants[(1, "reference")]
+        assert base["matches"], "scan matched nothing; invariance check is vacuous"
+        assert len(base["per_query"]) == len(queries)
+        for key, variant in variants.items():
+            assert variant == base, f"variant {key} diverged from (1, reference)"
+
+    def test_kernel_env_var_is_honoured(self, corpus, monkeypatch):
+        monkeypatch.setenv("REPRO_SCAN_KERNEL", "reference")
+        via_env = self.run_variant(corpus, workers=1, kernel=None)
+        monkeypatch.delenv("REPRO_SCAN_KERNEL")
+        explicit = self.run_variant(corpus, workers=1, kernel="vectorized")
+        assert via_env == explicit

@@ -167,14 +167,17 @@ class TestWorkerVisibility:
         assert two["units"] == four["units"]
 
     def test_serial_path_reports_to_registry_too(self):
-        # the serial device path instruments per line (keep_line), not per
-        # page, so the stage set differs from the kernel's — but decompress
-        # accounting matches it exactly
+        # workers=1 runs the same partition kernel inline, so the stage
+        # accounting is page-granular and identical to the pool path's
         outcome, observed = self.run_scan(workers=1)
         stats = outcome.stats
         assert observed["calls"].get("decompress") == stats.pages_read
         assert observed["units"].get("decompress") == stats.bytes_decompressed
-        assert observed["calls"].get("filter") == stats.lines_seen
+        assert observed["calls"].get("filter") == stats.pages_read
+        assert observed["units"].get("filter") == stats.lines_seen
+        _, pooled = self.run_scan(workers=4)
+        assert observed["calls"] == pooled["calls"]
+        assert observed["units"] == pooled["units"]
 
 
 class TestSynthesizedStatsProfile:

@@ -120,6 +120,11 @@ def run(args: argparse.Namespace) -> int:
         )
 
     # -- offered-load sweep ------------------------------------------------
+    journal = None
+    if args.journal_out is not None:
+        from repro.obs.journal import QueryJournal
+
+        journal = QueryJournal()
     points = run_sweep(
         lambda: service(args.max_batch),
         pool,
@@ -129,6 +134,7 @@ def run(args: argparse.Namespace) -> int:
         duration_s=args.duration,
         deadline_s=args.deadline_ms / 1e3 if args.deadline_ms else None,
         seed=args.seed,
+        journal=journal,
     )
     print("  load   offered     goodput   p50 ms   p99 ms   loss")
     for point in points:
@@ -152,6 +158,16 @@ def run(args: argparse.Namespace) -> int:
                 f"x{overload.load_multiple:g} p99 {overload.p99_ms:.2f} ms "
                 f"exceeds {args.p99_factor:g}x the at-capacity p99 "
                 f"({bound:.2f} ms) — latency is not bounded under overload"
+            )
+
+    if journal is not None:
+        if not journal.conserved():
+            failures.append("sweep journal violates outcome conservation")
+        else:
+            journal.write(args.journal_out)
+            print(
+                f"wrote query journal ({len(journal.records)} records, "
+                f"{len(journal.windows())} windows) to {args.journal_out}"
             )
 
     if failures:
@@ -201,6 +217,9 @@ def main(argv=None) -> int:
                         "at-capacity p99 (gate)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", default="BENCH_service.json")
+    parser.add_argument("--journal-out", default=None,
+                        help="write the sweep's query journal (JSON, one "
+                        "window per load level) to this file")
     args = parser.parse_args(argv)
     return run(args)
 

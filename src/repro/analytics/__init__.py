@@ -12,7 +12,11 @@ extraction capability of MithriLog". This package is that layer:
 - :mod:`repro.analytics.clustering` — k-means clustering of log windows
   (Lin et al. [36] style problem identification),
 - :mod:`repro.analytics.sequences` — template-transition (workflow)
-  models over the tag stream (CloudSeer [82] style monitoring).
+  models over the tag stream (CloudSeer [82] style monitoring),
+- :mod:`repro.analytics.workload` — mining of the service's own query
+  journal: hot templates, per-tenant/template/stage/outcome slices,
+  and drift detection between journal windows (the *Query Log
+  Compression for Workload Analytics* direction).
 
 Everything consumes the tagger/filter output of :mod:`repro.core`, so
 these analyses run over *extracted* data, never raw logs.
@@ -23,13 +27,27 @@ from repro.analytics.anomaly import PCAAnomalyDetector
 from repro.analytics.clustering import KMeans
 from repro.analytics.counting import TemplateCountMatrix, count_windows
 from repro.analytics.sequences import TransitionModel
+from repro.analytics.workload import (
+    DriftReport,
+    SliceStats,
+    WorkloadProfile,
+    drift,
+    hot_templates,
+    mine,
+)
 
 __all__ = [
     "AggregateReport",
+    "DriftReport",
     "KMeans",
     "PCAAnomalyDetector",
+    "SliceStats",
     "TemplateCountMatrix",
     "TransitionModel",
+    "WorkloadProfile",
     "aggregate_matches",
     "count_windows",
+    "drift",
+    "hot_templates",
+    "mine",
 ]

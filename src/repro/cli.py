@@ -12,6 +12,8 @@ The workflows a downstream user needs, without writing Python::
     python -m repro watch-perf BENCH_hotpath.json fresh.json
     python -m repro serve-sim --log my.log --offered-qps 800 --max-loss 0.5
     python -m repro loadgen  --log my.log --multiples 0.5,1,2 --out sweep.json
+    python -m repro workload mine   --journal journal.json --top 5
+    python -m repro workload report --journal-a a.json --journal-b b.json
     python -m repro compress --log my.log
 
 Every command prints a short human-readable report; ``query`` also
@@ -323,6 +325,13 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         deadline_s=args.deadline_ms / 1e3 if args.deadline_ms else None,
     )
     service = factory()
+    journal = None
+    if args.journal_out is not None:
+        from repro.obs.journal import QueryJournal
+
+        journal = QueryJournal()
+        journal.begin_window("serve-sim")
+        service.journal = journal
     report = service.run(requests, workers=args.workers)
     counts = report.outcome_counts()
     log.info(
@@ -343,6 +352,12 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     if not report.conserved():
         log.error("outcome conservation violated (this is a bug)")
         return 1
+    if journal is not None:
+        journal.write(args.journal_out)
+        log.info(
+            f"query journal ({len(journal.records):,} records) written "
+            f"to {args.journal_out}"
+        )
     if args.as_json:
         payload = {
             "submitted": report.submitted,
@@ -383,6 +398,11 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     tenants, pool, factory = _build_service(args)
     capacity = estimate_capacity(factory, pool, tenants, seed=args.seed)
     log.info(f"measured capacity: {capacity:,.0f} q/s (simulated)")
+    journal = None
+    if args.journal_out is not None:
+        from repro.obs.journal import QueryJournal
+
+        journal = QueryJournal()
     points = run_sweep(
         factory,
         pool,
@@ -393,7 +413,14 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         deadline_s=args.deadline_ms / 1e3 if args.deadline_ms else None,
         seed=args.seed,
         workers=args.workers,
+        journal=journal,
     )
+    if journal is not None:
+        journal.write(args.journal_out)
+        log.info(
+            f"query journal ({len(journal.records):,} records, "
+            f"{len(multiples)} windows) written to {args.journal_out}"
+        )
     log.info("  load   offered     goodput   p50 ms   p99 ms   loss")
     for point in points:
         log.info(
@@ -413,6 +440,110 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 f"worst p99 {worst:.2f} ms exceeds budget "
                 f"{args.p99_budget_ms:.2f} ms — latency degraded"
             )
+            return 1
+    return 0
+
+
+def _cmd_workload_mine(args: argparse.Namespace) -> int:
+    from repro.analytics.workload import drift, mine
+    from repro.obs.journal import load_journal
+
+    journal = load_journal(args.journal)
+    if not journal.conserved():
+        log.error(f"{args.journal}: journal violates outcome conservation")
+        return 1
+    profile = mine(journal, window=args.window)
+    if profile.records == 0:
+        log.error(
+            f"{args.journal}: no records"
+            + (f" in window {args.window!r}" if args.window else "")
+        )
+        return 1
+    total = profile.total
+    log.info(
+        f"{profile.records:,} records over {profile.duration_s * 1e3:.1f} ms "
+        f"simulated ({len(journal.windows())} windows, "
+        f"{len(profile.templates)} templates)"
+    )
+    log.info(
+        f"  goodput {profile.goodput_qps:,.0f} q/s, p50 {total.p50_ms:.2f} ms, "
+        f"p99 {total.p99_ms:.2f} ms, loss {100 * total.loss_rate:.1f}%"
+    )
+    log.info("  hot templates:")
+    for entry in profile.hot_templates(args.top):
+        log.info(
+            f"    {entry['template']}  n={entry['count']:<5,} "
+            f"share={100 * entry['share']:4.1f}%  p99={entry['p99_ms']:.2f} ms  "
+            f"{entry['query'][:48]}"
+        )
+    for dimension in ("tenant", "stage"):
+        log.info(f"  by {dimension}:")
+        for value, stats in sorted(profile.slices(dimension).items()):
+            log.info(
+                f"    {value:<12} n={stats.count:<5,} ok={stats.ok:<5,} "
+                f"p99={stats.p99_ms:7.2f} ms  loss={100 * stats.loss_rate:4.1f}%"
+            )
+    if args.drift_windows is not None:
+        names = [w for w in args.drift_windows.split(",") if w]
+        if len(names) != 2:
+            log.error("--drift-windows needs exactly two window labels")
+            return 2
+        report = drift(mine(journal, window=names[0]), mine(journal, window=names[1]))
+        log.info(
+            f"  drift {names[0]} -> {names[1]}: L1 {report.l1_share_distance:.4f} "
+            f"({'DRIFTED' if report.drifted else 'stable'}), "
+            f"{len(report.emerged)} emerged, {len(report.vanished)} vanished"
+        )
+    if args.as_json:
+        print(json.dumps(profile.to_dict(args.top), indent=1, sort_keys=True))
+    if args.out is not None:
+        Path(args.out).write_text(
+            json.dumps(profile.to_dict(args.top), indent=1, sort_keys=True) + "\n"
+        )
+        log.info(f"workload profile written to {args.out}")
+    return 0
+
+
+def _cmd_workload_report(args: argparse.Namespace) -> int:
+    from repro.analytics.workload import mine
+    from repro.obs.journal import load_journal
+    from repro.obs.report import build_ab_report
+
+    journal_a = load_journal(args.journal_a)
+    journal_b = (
+        journal_a if args.journal_b is None else load_journal(args.journal_b)
+    )
+    if args.journal_b is None and args.window_a is None and args.window_b is None:
+        log.error(
+            "one journal and no windows: nothing to compare "
+            "(pass --journal-b, or --window-a/--window-b)"
+        )
+        return 2
+    profile_a = mine(journal_a, window=args.window_a)
+    profile_b = mine(journal_b, window=args.window_b)
+    if profile_a.records == 0 or profile_b.records == 0:
+        log.error("one side of the comparison has no records")
+        return 1
+    report = build_ab_report(
+        profile_a,
+        profile_b,
+        label_a=args.label_a,
+        label_b=args.label_b,
+        threshold=args.threshold,
+    )
+    sys.stdout.write(report.render_markdown(top=args.top))
+    if args.out is not None:
+        report.write_json(args.out)
+        log.info(f"A/B report JSON written to {args.out}")
+    if args.md_out is not None:
+        report.write_markdown(args.md_out, top=args.top)
+        log.info(f"A/B report markdown written to {args.md_out}")
+    hidden = report.hidden_regressions
+    if hidden:
+        log.warning(
+            f"{len(hidden)} per-slice regressions hidden by the aggregate win"
+        )
+        if args.fail_on_hidden:
             return 1
     return 0
 
@@ -603,6 +734,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workers", type=int, default=1,
                        help="scan worker processes (outcomes are identical "
                        "at any worker count)")
+        p.add_argument("--journal-out", default=None,
+                       help="write the run's query journal (JSON) to this "
+                       "file for `repro workload mine`/`report`")
 
     p = sub.add_parser(
         "serve-sim",
@@ -632,6 +766,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="write sweep records (watch-perf format) to this file")
     p.set_defaults(func=_cmd_loadgen)
+
+    p = sub.add_parser(
+        "workload",
+        help="mine query journals and build A/B workload reports",
+    )
+    wsub = p.add_subparsers(dest="workload_command", required=True)
+
+    w = wsub.add_parser(
+        "mine",
+        help="slice a query journal: hot templates, per-tenant/stage "
+        "stats, optional drift between windows",
+    )
+    w.add_argument("--journal", required=True, help="journal JSON file")
+    w.add_argument("--window", default=None,
+                   help="mine only this journal window (default: all records)")
+    w.add_argument("--top", type=int, default=8,
+                   help="hot templates to show")
+    w.add_argument("--drift-windows", default=None, metavar="A,B",
+                   help="also report drift between two windows")
+    w.add_argument("--json", action="store_true", dest="as_json",
+                   help="print the profile JSON to stdout")
+    w.add_argument("--out", default=None,
+                   help="write the profile JSON to this file")
+    w.set_defaults(func=_cmd_workload_mine)
+
+    w = wsub.add_parser(
+        "report",
+        help="diff two journals (or two windows) slice by slice; flags "
+        "regressions an aggregate win would hide",
+    )
+    w.add_argument("--journal-a", required=True,
+                   help="baseline journal JSON file")
+    w.add_argument("--journal-b", default=None,
+                   help="candidate journal (default: same file as A, "
+                   "compare two windows instead)")
+    w.add_argument("--window-a", default=None, help="window to mine from A")
+    w.add_argument("--window-b", default=None, help="window to mine from B")
+    w.add_argument("--label-a", default="baseline")
+    w.add_argument("--label-b", default="candidate")
+    w.add_argument("--threshold", type=float, default=0.2,
+                   help="relative change that counts as material (0.2 = 20%%)")
+    w.add_argument("--top", type=int, default=12,
+                   help="slices to show in the markdown tables")
+    w.add_argument("--out", default=None,
+                   help="write the report JSON to this file")
+    w.add_argument("--md-out", default=None,
+                   help="write the rendered markdown to this file")
+    w.add_argument("--fail-on-hidden", action="store_true",
+                   help="exit 1 when any hidden per-slice regression is found")
+    w.set_defaults(func=_cmd_workload_report)
 
     return parser
 

@@ -23,6 +23,13 @@ interpretation layer on top of it:
   EXPLAIN ANALYZE).
 - :mod:`repro.obs.watch` — the perf-regression watchdog over benchmark
   trajectory files (``python -m repro watch-perf``).
+- :mod:`repro.obs.journal` — the append-only, replayable query journal
+  every service request (and direct system query) lands in: tenant,
+  template fingerprint, outcome, latency decomposition, bottleneck
+  stage. Feeds :mod:`repro.analytics.workload`.
+- :mod:`repro.obs.report` — A/B workload reports diffing two mined
+  journal profiles slice-by-slice, flagging regressions an aggregate
+  win would hide; markdown + JSON renderers.
 - :mod:`repro.obs.expose` — Prometheus text format and JSON snapshot
   dumps, plus the canonical metric-family bootstrap.
 - :mod:`repro.obs.log` — the structured leveled logger the CLI uses
@@ -43,6 +50,15 @@ from repro.obs.expose import (
     render_prometheus,
     snapshot,
     write_snapshot,
+)
+from repro.obs.journal import (
+    JournalError,
+    JournalRecord,
+    QueryJournal,
+    load_journal,
+    replay_requests,
+    template_fingerprint,
+    validate_journal_payload,
 )
 from repro.obs.log import Logger, get_logger
 from repro.obs.metrics import (
@@ -65,6 +81,13 @@ from repro.obs.profile import (
     merge_profiles,
     profile_to_dict,
 )
+from repro.obs.report import (
+    ABReport,
+    ReportError,
+    SliceDelta,
+    build_ab_report,
+    validate_ab_report,
+)
 from repro.obs.timeline import (
     busy_fraction,
     chrome_counter_events,
@@ -74,23 +97,30 @@ from repro.obs.timeline import (
 from repro.obs.tracing import Span, SpanTracer, TraceError, validate_chrome_trace
 
 __all__ = [
+    "ABReport",
     "Counter",
     "ExplainError",
     "ExplainReport",
     "Gauge",
     "Histogram",
+    "JournalError",
+    "JournalRecord",
     "Logger",
     "MetricError",
     "MetricsRegistry",
     "PartitionProfile",
     "PlanNode",
     "ProfileBuilder",
+    "QueryJournal",
+    "ReportError",
+    "SliceDelta",
     "Span",
     "SpanTracer",
     "StageProfile",
     "TraceContext",
     "TraceError",
     "bootstrap_families",
+    "build_ab_report",
     "build_explain",
     "busy_fraction",
     "chrome_counter_events",
@@ -98,15 +128,20 @@ __all__ = [
     "enable",
     "get_logger",
     "get_registry",
+    "load_journal",
     "merge_profiles",
     "occupancy_series",
     "profile_to_dict",
     "render_prometheus",
+    "replay_requests",
     "set_registry",
     "snapshot",
+    "template_fingerprint",
     "use_registry",
     "utilization_summary",
+    "validate_ab_report",
     "validate_chrome_trace",
     "validate_explain_report",
+    "validate_journal_payload",
     "write_snapshot",
 ]

@@ -12,7 +12,12 @@ It exits non-zero when
 - a ``.json`` metrics snapshot is not a valid snapshot object,
 - a ``.json`` explain report fails :func:`repro.obs.explain
   .validate_explain_report` (malformed plan tree, bottleneck
-  attribution not summing to the scan time).
+  attribution not summing to the scan time),
+- a ``.json`` query journal fails :func:`repro.obs.journal
+  .validate_journal_payload` (broken conservation, unresolvable
+  template fingerprints, inconsistent latency decomposition),
+- a ``.json`` A/B workload report fails :func:`repro.obs.report
+  .validate_ab_report` (missing slices, contradictory flags).
 
 Keeping the validator in the library (rather than a shell one-liner in
 the workflow) makes the failure mode testable.
@@ -30,7 +35,9 @@ from repro.obs.explain import (
     looks_like_explain,
     validate_explain_report,
 )
+from repro.obs.journal import looks_like_journal, validate_journal_payload
 from repro.obs.log import get_logger
+from repro.obs.report import looks_like_ab_report, validate_ab_report
 from repro.obs.tracing import TraceError, validate_chrome_trace
 
 #: Family prefixes a complete Prometheus snapshot must mention.
@@ -45,6 +52,7 @@ REQUIRED_FAMILY_PREFIXES = (
     "mithrilog_util_",
     "mithrilog_profile_",
     "mithrilog_service_",
+    "mithrilog_workload_",
 )
 
 LOG = get_logger("repro.obs.check")
@@ -83,10 +91,30 @@ def check_file(path: Path) -> Optional[str]:
                 return f"{path}: {exc}"
             LOG.debug("explain ok", path=str(path), plan_nodes=nodes)
             return None
+        if looks_like_journal(payload):
+            problems = validate_journal_payload(payload)
+            if problems:
+                return f"{path}: {'; '.join(problems)}"
+            LOG.debug(
+                "journal ok",
+                path=str(path),
+                records=len(payload.get("records", [])),
+            )
+            return None
+        if looks_like_ab_report(payload):
+            problems = validate_ab_report(payload)
+            if problems:
+                return f"{path}: {'; '.join(problems)}"
+            LOG.debug(
+                "ab report ok",
+                path=str(path),
+                slices=len(payload.get("slices", [])),
+            )
+            return None
         if "metrics" not in payload:
             return (
-                f"{path}: not a Chrome trace, metrics snapshot, or "
-                "explain report"
+                f"{path}: not a Chrome trace, metrics snapshot, explain "
+                "report, query journal, or A/B report"
             )
         return None
     return f"{path}: unknown artifact type (expected .prom or .json)"

@@ -227,6 +227,23 @@ def bootstrap_families(registry: Optional[MetricsRegistry] = None) -> None:
         "Queries packed per accelerator pass",
         buckets=(1.0, 2.0, 4.0, 8.0, 16.0, math.inf),
     )
+    registry.counter(
+        "mithrilog_workload_journal_records_total",
+        "Journal records appended, by outcome",
+        labelnames=("outcome",),
+    )
+    registry.gauge(
+        "mithrilog_workload_templates",
+        "Distinct query templates the journal has seen",
+    )
+    registry.counter(
+        "mithrilog_workload_hint_demotions_total",
+        "Requests demoted by template admission hints",
+    )
+    registry.gauge(
+        "mithrilog_workload_slow_templates",
+        "Templates the active hint provider marks as pathologically slow",
+    )
     registry.gauge(
         "mithrilog_util_busy_fraction",
         "Per-resource busy fraction of the latest query's scan window",

@@ -1,0 +1,491 @@
+"""The query journal: every request's life, recorded as structured data.
+
+*Query Log Compression for Workload Analytics* (PAPERS.md) treats the
+query stream itself as a first-class dataset — who asked, what shape of
+query, what it cost, what the platform did with it. This module is that
+dataset's writer: an append-only, replayable journal that the service
+layer (:class:`repro.service.service.QueryService`) and direct
+:meth:`repro.system.mithrilog.MithriLogSystem.query` calls both feed.
+
+One :class:`JournalRecord` per resolved request, carrying
+
+- **who** — the tenant and the request's priority;
+- **what** — a stable template *fingerprint* (queries generated from the
+  same FT-tree template share one), with the fingerprint → query-text
+  map kept once in the journal header instead of per record;
+- **outcome** — the service's four-valued verdict plus the machine-
+  readable refusal reason;
+- **cost** — queue, service and end-to-end latency on the simulated
+  clock, matched lines, batch size, and the *bottleneck stage* of the
+  accelerator pass the request rode (pulled from the existing
+  explain/profile machinery via :attr:`QueryStats.bottleneck`);
+- **window** — an optional label (``load-x2``, ``baseline``...) so one
+  journal can hold several workload phases and the mining layer
+  (:mod:`repro.analytics.workload`) can diff them.
+
+The journal also counts *intake* independently of outcomes
+(:meth:`QueryJournal.note_submitted`), so the exported artifact carries
+the same conservation cross-check the service report does:
+``ok + rejected + shed + timed_out == submitted`` per tenant, verified
+by :func:`validate_journal_payload` and CI's ``repro.obs.check``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Union
+
+from repro.obs.metrics import get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.request import Request, Response
+
+__all__ = [
+    "JOURNAL_KIND",
+    "JOURNAL_VERSION",
+    "JournalError",
+    "JournalRecord",
+    "QueryJournal",
+    "load_journal",
+    "looks_like_journal",
+    "replay_requests",
+    "template_fingerprint",
+    "validate_journal_payload",
+]
+
+JOURNAL_KIND = "mithrilog_query_journal"
+JOURNAL_VERSION = 1
+
+#: The four outcomes a record may carry (mirrors ``repro.service.request
+#: .Outcome`` without importing the service layer at module load).
+OUTCOMES = ("ok", "rejected", "shed", "timed_out")
+
+#: Bottleneck stages :attr:`QueryStats.bottleneck` can name, plus ""
+#: for requests that never reached an accelerator pass.
+STAGES = ("", "flash", "decompress", "filter", "host", "index")
+
+
+class JournalError(ValueError):
+    """A journal artifact that cannot be trusted (schema or math)."""
+
+
+def template_fingerprint(query_text: str) -> str:
+    """Stable 12-hex-digit fingerprint of a query's canonical text.
+
+    Queries built from the same template string collapse onto one
+    fingerprint, which is what makes per-template slicing possible
+    without shipping the full text on every record. sha1 rather than
+    ``hash()``: stable across processes and ``PYTHONHASHSEED``.
+    """
+    return hashlib.sha1(query_text.encode()).hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One resolved request, compact enough to keep millions of."""
+
+    seq: int  #: append order within the journal (0-based)
+    window: str  #: workload phase label ("" outside any window)
+    tenant: str
+    template: str  #: :func:`template_fingerprint` of the query text
+    outcome: str  #: "ok" | "rejected" | "shed" | "timed_out"
+    reason: str  #: refusal cause ("" for OK)
+    priority: int
+    arrival_s: float  #: request's arrival offset within its run
+    queue_s: float  #: arrival -> service start (simulated)
+    service_s: float  #: the shared accelerator pass (simulated)
+    latency_s: float  #: queue_s + service_s
+    completed_at_s: float  #: absolute simulated completion time
+    matches: int  #: matched lines (OK only)
+    batch_size: int  #: queries sharing the pass (0 = never scheduled)
+    stage: str  #: bottleneck stage of the pass ("" when no pass ran)
+    deadline_s: Optional[float] = None  #: the request's deadline knob
+    degraded: bool = False  #: answered with at least one shard down
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JournalRecord":
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise JournalError(f"malformed journal record: {exc}") from exc
+
+
+@dataclass
+class _TenantTally:
+    """Intake vs outcome accounting for one tenant (conservation)."""
+
+    submitted: int = 0
+    ok: int = 0
+    rejected: int = 0
+    shed: int = 0
+    timed_out: int = 0
+
+    def conserved(self) -> bool:
+        return (
+            self.ok + self.rejected + self.shed + self.timed_out
+            == self.submitted
+        )
+
+
+class QueryJournal:
+    """Append-only journal of resolved requests, with JSON export.
+
+    The journal never mutates or reorders what it holds — ``records``
+    only grows, and :meth:`write` serialises exactly what was appended.
+    Attach one to a :class:`~repro.service.service.QueryService` (the
+    ``journal=`` constructor knob) or a :class:`~repro.system.mithrilog
+    .MithriLogSystem` and every request that resolves lands here.
+    """
+
+    def __init__(self, meta: Optional[dict] = None) -> None:
+        self.records: list[JournalRecord] = []
+        self.templates: dict[str, str] = {}  #: fingerprint -> query text
+        self.meta: dict = dict(meta or {})
+        self.window: str = ""
+        self._tallies: dict[str, _TenantTally] = {}
+        registry = get_registry()
+        if registry is not None:
+            self._m_records = registry.counter(
+                "mithrilog_workload_journal_records_total",
+                "Journal records appended, by outcome",
+                labelnames=("outcome",),
+            )
+            self._m_templates = registry.gauge(
+                "mithrilog_workload_templates",
+                "Distinct query templates the journal has seen",
+            )
+        else:
+            self._m_records = None
+            self._m_templates = None
+
+    # -- writing ----------------------------------------------------------
+
+    def begin_window(self, label: str) -> None:
+        """Stamp subsequent records with ``label`` (a workload phase)."""
+        self.window = label
+
+    def note_submitted(self, tenant: str) -> None:
+        """Count intake *before* any outcome exists (conservation)."""
+        self._tallies.setdefault(tenant, _TenantTally()).submitted += 1
+
+    def register_template(self, query_text: str) -> str:
+        """Intern a query's text; returns its fingerprint."""
+        fingerprint = template_fingerprint(query_text)
+        if fingerprint not in self.templates:
+            self.templates[fingerprint] = query_text
+            if self._m_templates is not None:
+                self._m_templates.set(len(self.templates))
+        return fingerprint
+
+    def append(self, record: JournalRecord) -> None:
+        """Append one pre-built record (the low-level writer)."""
+        if record.outcome not in OUTCOMES:
+            raise JournalError(f"unknown outcome {record.outcome!r}")
+        self.records.append(record)
+        tally = self._tallies.setdefault(record.tenant, _TenantTally())
+        setattr(tally, record.outcome, getattr(tally, record.outcome) + 1)
+        if self._m_records is not None:
+            self._m_records.inc(outcome=record.outcome)
+
+    def observe(self, response: "Response") -> JournalRecord:
+        """Append a record for a resolved service response."""
+        request = response.request
+        fingerprint = self.register_template(str(request.query))
+        record = JournalRecord(
+            seq=len(self.records),
+            window=self.window,
+            tenant=request.tenant,
+            template=fingerprint,
+            outcome=response.outcome.value,
+            reason=response.reason,
+            priority=request.priority,
+            arrival_s=request.arrival_s,
+            queue_s=response.queue_time_s,
+            service_s=response.service_time_s,
+            latency_s=response.latency_s,
+            completed_at_s=response.completed_at_s,
+            matches=response.matches,
+            batch_size=response.batch_size,
+            stage=response.bottleneck,
+            deadline_s=request.deadline_s,
+            degraded=response.degraded,
+        )
+        self.append(record)
+        return record
+
+    def observe_direct(
+        self,
+        query_text: str,
+        *,
+        latency_s: float,
+        matches: int,
+        stage: str,
+        completed_at_s: float,
+        batch_size: int = 1,
+        tenant: str = "_direct",
+    ) -> JournalRecord:
+        """Append a record for a query that bypassed the service layer.
+
+        Direct :meth:`MithriLogSystem.query` calls have no admission
+        story — they always execute — so the record is OK by
+        construction, with the whole latency attributed to service time.
+        """
+        self.note_submitted(tenant)
+        fingerprint = self.register_template(query_text)
+        record = JournalRecord(
+            seq=len(self.records),
+            window=self.window,
+            tenant=tenant,
+            template=fingerprint,
+            outcome="ok",
+            reason="",
+            priority=0,
+            arrival_s=0.0,
+            queue_s=0.0,
+            service_s=latency_s,
+            latency_s=latency_s,
+            completed_at_s=completed_at_s,
+            matches=matches,
+            batch_size=batch_size,
+            stage=stage,
+        )
+        self.append(record)
+        return record
+
+    # -- reading ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[JournalRecord]:
+        return iter(self.records)
+
+    def windows(self) -> list[str]:
+        """Window labels in first-appearance order."""
+        seen: list[str] = []
+        for record in self.records:
+            if record.window not in seen:
+                seen.append(record.window)
+        return seen
+
+    def in_window(self, label: Optional[str]) -> list[JournalRecord]:
+        """Records of one window (``None`` means all of them)."""
+        if label is None:
+            return list(self.records)
+        return [r for r in self.records if r.window == label]
+
+    def tenant_tallies(self) -> dict[str, dict[str, int]]:
+        return {
+            tenant: {
+                "submitted": tally.submitted,
+                "ok": tally.ok,
+                "rejected": tally.rejected,
+                "shed": tally.shed,
+                "timed_out": tally.timed_out,
+            }
+            for tenant, tally in sorted(self._tallies.items())
+        }
+
+    def conserved(self) -> bool:
+        """Every noted submission has exactly one journalled outcome."""
+        return all(t.conserved() for t in self._tallies.values())
+
+    # -- serialisation ----------------------------------------------------
+
+    def to_payload(self) -> dict:
+        return {
+            "kind": JOURNAL_KIND,
+            "version": JOURNAL_VERSION,
+            "meta": self.meta,
+            "templates": dict(sorted(self.templates.items())),
+            "tenants": self.tenant_tallies(),
+            "records": [r.to_dict() for r in self.records],
+        }
+
+    def to_json(self, indent: Optional[int] = 1) -> str:
+        return json.dumps(self.to_payload(), indent=indent, sort_keys=False)
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "QueryJournal":
+        problems = validate_journal_payload(payload)
+        if problems:
+            raise JournalError("; ".join(problems))
+        journal = cls(meta=payload.get("meta"))
+        journal.templates = dict(payload["templates"])
+        for entry in payload["records"]:
+            journal.records.append(JournalRecord.from_dict(entry))
+        for tenant, tally in payload["tenants"].items():
+            journal._tallies[tenant] = _TenantTally(
+                submitted=tally["submitted"],
+                ok=tally["ok"],
+                rejected=tally["rejected"],
+                shed=tally["shed"],
+                timed_out=tally["timed_out"],
+            )
+        return journal
+
+
+def load_journal(path: Union[str, Path]) -> QueryJournal:
+    """Read and validate a journal artifact from disk."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise JournalError(f"{path}: unreadable journal ({exc})") from exc
+    return QueryJournal.from_payload(payload)
+
+
+def looks_like_journal(payload: object) -> bool:
+    """Is this payload shaped like an exported journal?"""
+    return isinstance(payload, dict) and payload.get("kind") == JOURNAL_KIND
+
+
+_NUMERIC_FIELDS = (
+    "arrival_s",
+    "queue_s",
+    "service_s",
+    "latency_s",
+    "completed_at_s",
+)
+
+
+def validate_journal_payload(payload: object) -> list[str]:
+    """Schema + conservation check; returns human-readable problems.
+
+    An empty list means the artifact is trustworthy: every record is
+    well-formed, every fingerprint resolves in the template map, the
+    per-tenant tallies reproduce the records, and intake conservation
+    holds for every tenant.
+    """
+    if not looks_like_journal(payload):
+        return ["not a query journal (kind mismatch)"]
+    assert isinstance(payload, dict)
+    problems: list[str] = []
+    if payload.get("version") != JOURNAL_VERSION:
+        problems.append(
+            f"unsupported journal version {payload.get('version')!r}"
+        )
+    templates = payload.get("templates")
+    records = payload.get("records")
+    tenants = payload.get("tenants")
+    if not isinstance(templates, dict):
+        return problems + ["templates map missing"]
+    if not isinstance(records, list):
+        return problems + ["records list missing"]
+    if not isinstance(tenants, dict):
+        return problems + ["tenant tallies missing"]
+
+    recount: dict[str, _TenantTally] = {}
+    for i, entry in enumerate(records):
+        if not isinstance(entry, dict):
+            problems.append(f"record {i}: not an object")
+            continue
+        outcome = entry.get("outcome")
+        if outcome not in OUTCOMES:
+            problems.append(f"record {i}: unknown outcome {outcome!r}")
+            continue
+        if entry.get("template") not in templates:
+            problems.append(
+                f"record {i}: fingerprint {entry.get('template')!r} "
+                "missing from the template map"
+            )
+        if entry.get("stage") not in STAGES:
+            problems.append(
+                f"record {i}: unknown bottleneck stage {entry.get('stage')!r}"
+            )
+        if outcome == "ok" and entry.get("stage") == "":
+            problems.append(f"record {i}: OK record without a bottleneck stage")
+        for fieldname in _NUMERIC_FIELDS:
+            value = entry.get(fieldname)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(
+                    f"record {i}: {fieldname} must be a non-negative number"
+                )
+        latency = entry.get("latency_s")
+        queue = entry.get("queue_s")
+        service = entry.get("service_s")
+        if (
+            isinstance(latency, (int, float))
+            and isinstance(queue, (int, float))
+            and isinstance(service, (int, float))
+            and abs(latency - (queue + service)) > 1e-9
+        ):
+            problems.append(
+                f"record {i}: latency_s != queue_s + service_s"
+            )
+        tally = recount.setdefault(str(entry.get("tenant")), _TenantTally())
+        setattr(tally, outcome, getattr(tally, outcome) + 1)
+        if len(problems) >= 20:
+            problems.append("... (further problems suppressed)")
+            break
+
+    for tenant, declared in tenants.items():
+        counted = recount.get(tenant, _TenantTally())
+        for outcome in OUTCOMES:
+            if declared.get(outcome) != getattr(counted, outcome):
+                problems.append(
+                    f"tenant {tenant}: declared {outcome} tally "
+                    f"{declared.get(outcome)} != {getattr(counted, outcome)} "
+                    "counted from records"
+                )
+        total = sum(declared.get(o, 0) for o in OUTCOMES)
+        if declared.get("submitted") != total:
+            problems.append(
+                f"tenant {tenant}: conservation violated — submitted "
+                f"{declared.get('submitted')} != sum of outcomes {total}"
+            )
+    for tenant in recount:
+        if tenant not in tenants:
+            problems.append(f"tenant {tenant}: records exist but no tally")
+    return problems
+
+
+def replay_requests(
+    journal: Union[QueryJournal, dict],
+    windows: Optional[Iterable[str]] = None,
+) -> "list[Request]":
+    """Rebuild the submitted workload as fresh :class:`Request` objects.
+
+    This is what makes the journal *replayable*: an A/B harness can
+    re-offer the exact recorded traffic (tenant, template text,
+    priority, deadline, arrival offset) to a differently-configured
+    service. Outcomes are deliberately not replayed — they are what the
+    B run exists to re-measure.
+    """
+    from repro.core.query import parse_query
+    from repro.service.request import Request
+
+    if isinstance(journal, dict):
+        journal = QueryJournal.from_payload(journal)
+    wanted = set(windows) if windows is not None else None
+    compiled: dict[str, object] = {}
+    requests: list[Request] = []
+    for record in journal.records:
+        if wanted is not None and record.window not in wanted:
+            continue
+        text = journal.templates[record.template]
+        if text not in compiled:
+            compiled[text] = parse_query(text)
+        requests.append(
+            Request(
+                tenant=record.tenant,
+                query=compiled[text],
+                priority=record.priority,
+                deadline_s=record.deadline_s,
+                arrival_s=record.arrival_s,
+            )
+        )
+    requests.sort(key=lambda r: r.arrival_s)
+    return requests

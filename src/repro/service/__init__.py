@@ -25,6 +25,7 @@ input and invariant to the host worker count.
 """
 
 from repro.service.admission import AdmissionController, TokenBucket
+from repro.service.hints import TemplateHintProvider, resolve_priority
 from repro.service.qos import Batch, QoSScheduler
 from repro.service.request import (
     Outcome,
@@ -57,6 +58,7 @@ __all__ = [
     "Response",
     "ServiceReport",
     "SweepPoint",
+    "TemplateHintProvider",
     "TenantConfig",
     "TenantStats",
     "TokenBucket",
@@ -65,6 +67,7 @@ __all__ = [
     "make_tenants",
     "open_loop_requests",
     "query_pool",
+    "resolve_priority",
     "run_sweep",
     "zipf_shares",
 ]

@@ -26,10 +26,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import QueryError
 from repro.service.request import Outcome, Request, Response, TenantConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.hints import TemplateHintProvider
 
 
 class TokenBucket:
@@ -107,11 +110,15 @@ class AdmissionController:
         self,
         tenants: list[TenantConfig],
         max_backlog: Optional[int] = None,
+        hints: Optional["TemplateHintProvider"] = None,
     ) -> None:
         if not tenants:
             raise QueryError("admission control needs at least one tenant")
         if max_backlog is not None and max_backlog <= 0:
             raise QueryError("max_backlog must be positive when given")
+        #: template-aware priority hints, consulted only on the overload
+        #: (shedding) path — normal admission never reads them
+        self.hints = hints
         self.tenants: dict[str, TenantState] = {}
         for config in tenants:
             if config.name in self.tenants:
@@ -177,7 +184,10 @@ class AdmissionController:
             and self.total_backlog >= self.max_backlog
         ):
             victim = self._lowest_priority_queued()
-            if victim is None or victim.request.priority >= request.priority:
+            if victim is None or self._priority(
+                victim.request
+            ) >= self._priority(request):
+                self._note_hinted_shed(request)
                 return (
                     Response(
                         request=request,
@@ -188,6 +198,7 @@ class AdmissionController:
                     [],
                 )
             self._evict(victim)
+            self._note_hinted_shed(victim.request)
             shed.append(
                 Response(
                     request=victim.request,
@@ -247,16 +258,27 @@ class AdmissionController:
             completed_at_s=now,
         )
 
+    def _priority(self, request: Request) -> int:
+        """The priority the overload path compares: hinted when active."""
+        if self.hints is None:
+            return request.priority
+        return self.hints.effective_priority(request)
+
+    def _note_hinted_shed(self, request: Request) -> None:
+        """Count a shed that the hint demotion (not the declared
+        priority alone) steered toward a slow template."""
+        if self.hints is not None and self.hints.is_slow(request.query):
+            self.hints.note_demotion()
+
     def _lowest_priority_queued(self) -> Optional[QueuedRequest]:
-        """The shedding victim: lowest priority, then youngest."""
+        """The shedding victim: lowest (hinted) priority, then youngest."""
         victim: Optional[QueuedRequest] = None
+        victim_key: Optional[tuple[int, int]] = None
         for state in self.tenants.values():
             for queued in state.queue:
-                if victim is None or (
-                    queued.request.priority,
-                    -queued.seq,
-                ) < (victim.request.priority, -victim.seq):
-                    victim = queued
+                key = (self._priority(queued.request), -queued.seq)
+                if victim_key is None or key < victim_key:
+                    victim, victim_key = queued, key
         return victim
 
     def _evict(self, victim: QueuedRequest) -> None:

@@ -23,12 +23,15 @@ routinely carries queries from several tenants at once.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.core.hashfilter import compile_queries
 from repro.core.query import Query
 from repro.errors import CapacityError, PlacementError, QueryError
 from repro.service.admission import AdmissionController, QueuedRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.hints import TemplateHintProvider
 
 
 @dataclass
@@ -57,12 +60,17 @@ class QoSScheduler:
         cuckoo_params,
         seed: int = 0,
         max_batch: int = 8,
+        hints: Optional["TemplateHintProvider"] = None,
     ) -> None:
         if max_batch <= 0:
             raise QueryError("max_batch must be positive")
         self.cuckoo_params = cuckoo_params
         self.seed = seed
         self.max_batch = max_batch
+        #: template hints: when set, slow-template and fast-template
+        #: queries never share a pass (the pass is paced by its most
+        #: expensive rider, so one broad template taxes every rider)
+        self.hints = hints
         #: virtual work per tenant; min-heap semantics via explicit argmin
         self.virtual_work: dict[str, float] = {}
 
@@ -107,6 +115,15 @@ class QoSScheduler:
                 break
             head = admission.head(tenant)
             assert head is not None  # _next_tenant only returns non-empty
+            if (
+                len(batch) > 0
+                and self.hints is not None
+                and self.hints.is_slow(head.request.query)
+                != self.hints.is_slow(batch.members[0].request.query)
+            ):
+                # quarantine: a slow template would pace the whole pass
+                skip.add(tenant)
+                continue
             candidate = batch.queries + [head.request.query]
             if len(batch) > 0 and not self.fits(candidate):
                 skip.add(tenant)

@@ -90,6 +90,10 @@ class Response:
     matches: int = 0  #: lines the query matched (OK outcomes only)
     batch_size: int = 0  #: queries sharing the accelerator pass
     degraded: bool = False  #: cluster answered with at least one shard down
+    #: bottleneck stage of the accelerator pass this request rode
+    #: (``flash``/``decompress``/``filter``/``host``; "" when no pass
+    #: ran) — what the query journal's per-stage slicing keys on
+    bottleneck: str = ""
 
     @property
     def ok(self) -> bool:

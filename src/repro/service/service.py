@@ -47,6 +47,8 @@ from repro.system.mithrilog import MithriLogSystem
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injectors import ServiceFaultInjector
+    from repro.obs.journal import QueryJournal
+    from repro.service.hints import TemplateHintProvider
     from repro.service.workload import WorkloadSource
 
 #: Histogram buckets for batch sizes (queries per accelerator pass).
@@ -123,6 +125,8 @@ class QueryService:
         use_index: bool = True,
         fault_injector: Optional["ServiceFaultInjector"] = None,
         tracer: Optional[SpanTracer] = None,
+        journal: Optional["QueryJournal"] = None,
+        hints: Optional["TemplateHintProvider"] = None,
     ) -> None:
         self.backend = backend
         self.is_cluster = isinstance(backend, MithriLogCluster)
@@ -134,16 +138,20 @@ class QueryService:
             SimClock() if self.is_cluster else reference.clock
         )
         self.admission = AdmissionController(
-            list(tenants), max_backlog=max_backlog
+            list(tenants), max_backlog=max_backlog, hints=hints
         )
         self.scheduler = QoSScheduler(
             reference.params.cuckoo,
             seed=reference.engine.seed,
             max_batch=max_batch,
+            hints=hints,
         )
         self.use_index = use_index
         self.fault_injector = fault_injector
         self.tracer = tracer
+        #: append-only query journal; every settled response lands here
+        self.journal = journal
+        self.hints = hints
         self.passes = 0
         registry = get_registry()
         if registry is not None:
@@ -223,6 +231,8 @@ class QueryService:
             tenant = response.request.tenant
             if tenant in stats:
                 stats[tenant].record(response)
+            if self.journal is not None:
+                self.journal.observe(response)
             if self._m_requests is not None:
                 self._m_requests.inc(
                     tenant=tenant, outcome=response.outcome.value
@@ -250,6 +260,8 @@ class QueryService:
                 else:  # unknown tenant: still owed exactly one response
                     stats.setdefault(request.tenant, TenantStats())
                     stats[request.tenant].note_submitted()
+                if self.journal is not None:
+                    self.journal.note_submitted(request.tenant)
                 refusal, shed = self._admit(request, arrival_abs)
                 for victim in shed:
                     settle(victim)
@@ -314,6 +326,7 @@ class QueryService:
         start = self.clock.now
         queries = batch.queries
         degraded = False
+        bottleneck = ""
         try:
             if self.is_cluster:
                 outcome = self.backend.query(
@@ -322,6 +335,13 @@ class QueryService:
                 counts = outcome.per_query_counts
                 elapsed = outcome.elapsed_s
                 degraded = outcome.degraded
+                # the pass is paced by its slowest shard; that shard's
+                # bottleneck stage is the pass's bottleneck
+                if outcome.per_shard:
+                    slowest = max(
+                        outcome.per_shard, key=lambda o: o.stats.elapsed_s
+                    )
+                    bottleneck = slowest.stats.bottleneck
                 self.clock.advance(elapsed)
             else:
                 result = self.backend.query(
@@ -329,6 +349,7 @@ class QueryService:
                 )
                 counts = result.per_query_counts
                 elapsed = result.stats.elapsed_s  # clock already advanced
+                bottleneck = result.stats.bottleneck
         except StorageError as exc:
             # a single system has no healthy-shard fallback: the pass
             # failed outright — its riders are shed with the cause, the
@@ -374,6 +395,7 @@ class QueryService:
                 matches=counts[i],
                 batch_size=len(batch),
                 degraded=degraded,
+                bottleneck=bottleneck,
             )
             for i, member in enumerate(batch.members)
         ]

@@ -305,6 +305,7 @@ def run_sweep(
     deadline_s: Optional[float] = None,
     seed: int = 0,
     workers: int = 1,
+    journal: Optional[object] = None,
 ) -> list[SweepPoint]:
     """Offered-load sweep: one fresh service per level, open-loop traffic.
 
@@ -313,6 +314,11 @@ def run_sweep(
     work, the goodput, and the loss (shed+rejected+timed-out) rate —
     the curve the acceptance gate reads: p99 stays bounded past
     saturation *because* shedding engages.
+
+    Pass a :class:`repro.obs.journal.QueryJournal` as ``journal`` to
+    capture every request across the sweep; each load level opens its
+    own journal window (``load-x<multiple>``) so the levels can be
+    mined and diffed independently afterwards.
     """
     points: list[SweepPoint] = []
     for multiple in load_multiples:
@@ -326,6 +332,9 @@ def run_sweep(
             deadline_s=deadline_s,
         )
         service = service_factory()
+        if journal is not None:
+            journal.begin_window(f"load-x{multiple:g}")
+            service.journal = journal
         report = service.run(requests, workers=workers)
         points.append(
             SweepPoint(

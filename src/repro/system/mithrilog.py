@@ -221,6 +221,7 @@ class MithriLogSystem:
         cache_pages: int = DEFAULT_CACHE_PAGES,
         scan_kernel: Optional[str] = None,
         scan_backend: Optional[str] = None,
+        journal=None,
     ) -> None:
         self.params = params if params is not None else PROTOTYPE
         #: Scan kernel/backend overrides (None defers to the
@@ -274,6 +275,11 @@ class MithriLogSystem:
         self.clock = SimClock()
         #: Optional span tracer; assign one at any time to start tracing.
         self.tracer = tracer
+        #: Optional :class:`repro.obs.journal.QueryJournal`; when set,
+        #: every direct ``query()`` call appends one record per query
+        #: (tenant ``_direct`` — service-layer traffic is journalled by
+        #: the service itself, which owns admission context).
+        self.journal = journal
         #: Monotonic query counter, minting trace ids (``q1``, ``q2``, ...).
         self._query_seq = 0
         registry = get_registry()
@@ -602,6 +608,16 @@ class MithriLogSystem:
                 partitions=partitions,
             )
         self.clock.advance(stats.elapsed_s)
+        if self.journal is not None:
+            for i, query_obj in enumerate(queries):
+                self.journal.observe_direct(
+                    str(query_obj),
+                    latency_s=stats.elapsed_s,
+                    matches=per_query[i],
+                    stage=stats.bottleneck,
+                    completed_at_s=self.clock.now,
+                    batch_size=len(queries),
+                )
         report = None
         if analyze:
             report = build_explain(

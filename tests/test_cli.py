@@ -322,3 +322,115 @@ class TestLoadgen:
             ["loadgen", "--log", str(log_file), "--multiples", "-1"]
         ) == 2
         assert main(["loadgen", "--log", str(log_file), "--tenants", "0"]) == 2
+
+
+class TestWorkload:
+    @pytest.fixture()
+    def journal_path(self, log_file, tmp_path):
+        path = tmp_path / "journal.json"
+        code = main(
+            ["loadgen", "--log", str(log_file), "--multiples", "0.5,2",
+             "--duration", "0.02", "--journal-out", str(path)]
+        )
+        assert code == 0
+        return path
+
+    def test_loadgen_journal_has_one_window_per_level(self, journal_path):
+        from repro.obs.journal import load_journal, validate_journal_payload
+
+        journal = load_journal(journal_path)
+        assert journal.windows() == ["load-x0.5", "load-x2"]
+        assert journal.conserved()
+        assert validate_journal_payload(journal.to_payload()) == []
+
+    def test_serve_sim_journal_out(self, log_file, tmp_path, capsys):
+        from repro.obs.journal import load_journal
+
+        path = tmp_path / "serve.json"
+        code = main(
+            ["serve-sim", "--log", str(log_file), "--offered-qps", "300",
+             "--duration", "0.05", "--max-loss", "0.9",
+             "--journal-out", str(path)]
+        )
+        assert code == 0
+        assert "query journal" in capsys.readouterr().out
+        journal = load_journal(path)
+        assert journal.windows() == ["serve-sim"]
+        assert len(journal) > 0
+
+    def test_mine_prints_slices(self, journal_path, capsys):
+        code = main(
+            ["workload", "mine", "--journal", str(journal_path), "--top", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hot templates:" in out
+        assert "by tenant:" in out
+        assert "by stage:" in out
+
+    def test_mine_window_and_drift(self, journal_path, capsys):
+        code = main(
+            ["workload", "mine", "--journal", str(journal_path),
+             "--window", "load-x2", "--drift-windows", "load-x0.5,load-x2"]
+        )
+        assert code == 0
+        assert "drift load-x0.5 -> load-x2:" in capsys.readouterr().out
+
+    def test_mine_json_out_validates(self, journal_path, tmp_path, capsys):
+        import json as jsonlib
+
+        out = tmp_path / "profile.json"
+        code = main(
+            ["workload", "mine", "--journal", str(journal_path),
+             "--json", "--out", str(out)]
+        )
+        assert code == 0
+        payload = jsonlib.loads(out.read_text())
+        assert payload["kind"] == "mithrilog_workload_profile"
+        # stdout carries log lines around the JSON block; slice it out
+        printed = capsys.readouterr().out
+        block = printed[printed.index("{") : printed.rindex("}") + 1]
+        assert jsonlib.loads(block) == payload
+
+    def test_mine_missing_window_exits_one(self, journal_path):
+        assert main(
+            ["workload", "mine", "--journal", str(journal_path),
+             "--window", "nonesuch"]
+        ) == 1
+
+    def test_report_between_windows(self, journal_path, tmp_path, capsys):
+        import json as jsonlib
+
+        from repro.obs.report import validate_ab_report
+
+        out = tmp_path / "ab.json"
+        md = tmp_path / "ab.md"
+        code = main(
+            ["workload", "report", "--journal-a", str(journal_path),
+             "--window-a", "load-x0.5", "--window-b", "load-x2",
+             "--label-a", "calm", "--label-b", "storm",
+             "--out", str(out), "--md-out", str(md)]
+        )
+        assert code == 0
+        assert "`calm` vs `storm`" in capsys.readouterr().out
+        payload = jsonlib.loads(out.read_text())
+        assert validate_ab_report(payload) == []
+        assert md.read_text().startswith("# A/B workload report")
+
+    def test_report_single_journal_no_windows_exits_two(self, journal_path):
+        assert main(
+            ["workload", "report", "--journal-a", str(journal_path)]
+        ) == 2
+
+    def test_check_accepts_cli_artifacts(self, journal_path, tmp_path):
+        from repro.obs.check import check_file
+
+        out = tmp_path / "ab.json"
+        code = main(
+            ["workload", "report", "--journal-a", str(journal_path),
+             "--window-a", "load-x0.5", "--window-b", "load-x2",
+             "--out", str(out)]
+        )
+        assert code == 0
+        assert check_file(journal_path) is None
+        assert check_file(out) is None

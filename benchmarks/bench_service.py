@@ -121,10 +121,28 @@ def run(args: argparse.Namespace) -> int:
 
     # -- offered-load sweep ------------------------------------------------
     journal = None
-    if args.journal_out is not None:
+    if args.journal_out is not None or args.bundle_out is not None:
         from repro.obs.journal import QueryJournal
 
         journal = QueryJournal()
+    monitor = recorder = None
+    if args.slo_config is not None or args.bundle_out is not None:
+        from repro.obs.recorder import FlightRecorder
+        from repro.obs.series import MetricSampler
+        from repro.obs.slo import SLOMonitor, default_slos, load_slo_config
+
+        if args.slo_config is not None:
+            slos, interval = load_slo_config(args.slo_config)
+        else:
+            slos, interval = default_slos(), 0.005
+        sampler = MetricSampler(interval_s=interval)
+        monitor = SLOMonitor(slos, interval_s=interval, sampler=sampler)
+        recorder = FlightRecorder(
+            monitor,
+            sampler=sampler,
+            journal=journal,
+            out_dir=args.bundle_out,
+        )
     points = run_sweep(
         lambda: service(args.max_batch),
         pool,
@@ -135,6 +153,7 @@ def run(args: argparse.Namespace) -> int:
         deadline_s=args.deadline_ms / 1e3 if args.deadline_ms else None,
         seed=args.seed,
         journal=journal,
+        monitor=monitor,
     )
     print("  load   offered     goodput   p50 ms   p99 ms   loss")
     for point in points:
@@ -160,10 +179,25 @@ def run(args: argparse.Namespace) -> int:
                 f"({bound:.2f} ms) — latency is not bounded under overload"
             )
 
+    if monitor is not None:
+        fired = [a for a in monitor.alerts if a.fired_at_s is not None]
+        print(
+            f"  SLO monitor: {monitor.evaluations} evaluations, "
+            f"{len(fired)} alert(s) fired across the sweep"
+        )
+        for alert in fired:
+            print(
+                f"    {alert.slo}: fired at {alert.fired_at_s * 1e3:.2f} ms "
+                f"sim (burn {alert.burn_fast_at_fire:.2f}x fast / "
+                f"{alert.burn_slow_at_fire:.2f}x slow)"
+            )
+        for path in getattr(recorder, "written", []):
+            print(f"wrote incident artifact {path}")
+
     if journal is not None:
         if not journal.conserved():
             failures.append("sweep journal violates outcome conservation")
-        else:
+        elif args.journal_out is not None:
             journal.write(args.journal_out)
             print(
                 f"wrote query journal ({len(journal.records)} records, "
@@ -220,6 +254,13 @@ def main(argv=None) -> int:
     parser.add_argument("--journal-out", default=None,
                         help="write the sweep's query journal (JSON, one "
                         "window per load level) to this file")
+    parser.add_argument("--slo-config", default=None,
+                        help="evaluate SLOs from this mithrilog_slo_config "
+                        "JSON live across the sweep (default objectives "
+                        "when --bundle-out is given without a config)")
+    parser.add_argument("--bundle-out", default=None,
+                        help="directory for incident bundles captured when "
+                        "a sweep-time SLO alert fires")
     args = parser.parse_args(argv)
     return run(args)
 

@@ -14,6 +14,8 @@ The workflows a downstream user needs, without writing Python::
     python -m repro loadgen  --log my.log --multiples 0.5,1,2 --out sweep.json
     python -m repro workload mine   --journal journal.json --top 5
     python -m repro workload report --journal-a a.json --journal-b b.json
+    python -m repro slo check --config slo.json --journal journal.json
+    python -m repro slo watch --journal journal.json --bundle-out incidents/
     python -m repro compress --log my.log
 
 Every command prints a short human-readable report; ``query`` also
@@ -300,6 +302,59 @@ def _build_service(args: argparse.Namespace):
     return tenants, pool, factory
 
 
+def _make_monitor(args: argparse.Namespace, journal, system=None):
+    """Shared serve-sim/loadgen SLO wiring from --slo-config/--bundle-out.
+
+    Returns ``(monitor, recorder)`` — both ``None`` when neither flag was
+    given. A :class:`~repro.obs.series.MetricSampler` is attached so
+    incident bundles carry metric series around the firing window.
+    """
+    if args.slo_config is None and args.bundle_out is None:
+        return None, None
+    from repro.obs.recorder import FlightRecorder
+    from repro.obs.series import MetricSampler
+    from repro.obs.slo import SLOMonitor, default_slos, load_slo_config
+
+    if args.slo_config is not None:
+        slos, interval = load_slo_config(args.slo_config)
+    else:
+        slos, interval = default_slos(), 0.005
+    sampler = MetricSampler(interval_s=interval)
+    monitor = SLOMonitor(slos, interval_s=interval, sampler=sampler)
+    recorder = FlightRecorder(
+        monitor,
+        sampler=sampler,
+        journal=journal,
+        system=system,
+        out_dir=args.bundle_out,
+    )
+    return monitor, recorder
+
+
+def _log_slo_summary(monitor, recorder) -> None:
+    """Log alert states, fired incidents and written bundle paths."""
+    fired = [a for a in monitor.alerts if a.fired_at_s is not None]
+    states = ", ".join(
+        f"{slo.name}={monitor.state_of(slo.name).value}"
+        for slo in monitor.slos
+    )
+    log.info(
+        f"SLO monitor: {monitor.evaluations} evaluations, "
+        f"{len(fired)} alert(s) fired ({states})"
+    )
+    for alert in fired:
+        budget = monitor.budget(alert.slo)
+        log.warning(
+            f"  alert {alert.slo}: fired at {alert.fired_at_s * 1e3:.2f} ms "
+            f"sim (burn fast {alert.burn_fast_at_fire:.1f}x / slow "
+            f"{alert.burn_slow_at_fire:.1f}x, budget consumed "
+            f"{100 * budget['consumed_ratio']:.0f}%)"
+        )
+    if recorder is not None:
+        for path in recorder.written:
+            log.info(f"  incident artifact: {path}")
+
+
 def _cmd_serve_sim(args: argparse.Namespace) -> int:
     from repro.service import open_loop_requests
 
@@ -326,12 +381,15 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     )
     service = factory()
     journal = None
-    if args.journal_out is not None:
+    if args.journal_out is not None or args.bundle_out is not None:
         from repro.obs.journal import QueryJournal
 
-        journal = QueryJournal()
+        journal = QueryJournal(max_entries=args.journal_max_entries)
         journal.begin_window("serve-sim")
         service.journal = journal
+    monitor, recorder = _make_monitor(args, journal, system=service.backend)
+    if monitor is not None:
+        service.monitor = monitor
     report = service.run(requests, workers=args.workers)
     counts = report.outcome_counts()
     log.info(
@@ -352,11 +410,14 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     if not report.conserved():
         log.error("outcome conservation violated (this is a bug)")
         return 1
-    if journal is not None:
+    if monitor is not None:
+        _log_slo_summary(monitor, recorder)
+    if journal is not None and args.journal_out is not None:
         journal.write(args.journal_out)
+        evicted = f" ({journal.evicted:,} evicted)" if journal.evicted else ""
         log.info(
-            f"query journal ({len(journal.records):,} records) written "
-            f"to {args.journal_out}"
+            f"query journal ({len(journal.records):,} records{evicted}) "
+            f"written to {args.journal_out}"
         )
     if args.as_json:
         payload = {
@@ -399,10 +460,11 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     capacity = estimate_capacity(factory, pool, tenants, seed=args.seed)
     log.info(f"measured capacity: {capacity:,.0f} q/s (simulated)")
     journal = None
-    if args.journal_out is not None:
+    if args.journal_out is not None or args.bundle_out is not None:
         from repro.obs.journal import QueryJournal
 
-        journal = QueryJournal()
+        journal = QueryJournal(max_entries=args.journal_max_entries)
+    monitor, recorder = _make_monitor(args, journal)
     points = run_sweep(
         factory,
         pool,
@@ -414,11 +476,15 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         seed=args.seed,
         workers=args.workers,
         journal=journal,
+        monitor=monitor,
     )
-    if journal is not None:
+    if monitor is not None:
+        _log_slo_summary(monitor, recorder)
+    if journal is not None and args.journal_out is not None:
         journal.write(args.journal_out)
+        evicted = f" ({journal.evicted:,} evicted)" if journal.evicted else ""
         log.info(
-            f"query journal ({len(journal.records):,} records, "
+            f"query journal ({len(journal.records):,} records{evicted}, "
             f"{len(multiples)} windows) written to {args.journal_out}"
         )
     log.info("  load   offered     goodput   p50 ms   p99 ms   loss")
@@ -546,6 +612,97 @@ def _cmd_workload_report(args: argparse.Namespace) -> int:
         if args.fail_on_hidden:
             return 1
     return 0
+
+
+def _cmd_slo_check(args: argparse.Namespace) -> int:
+    from repro.obs.journal import JournalError, load_journal
+    from repro.obs.slo import SLOError, load_slo_config, replay_journal
+    from repro.obs.slo import SLOMonitor
+
+    try:
+        slos, interval = load_slo_config(args.config)
+    except SLOError as exc:
+        log.error(str(exc))
+        return 1
+    log.info(
+        f"{args.config}: valid SLO config — {len(slos)} objective(s), "
+        f"check interval {interval * 1e3:.1f} ms sim"
+    )
+    for slo in slos:
+        threshold = (
+            f", latency <= {slo.latency_threshold_s * 1e3:.1f} ms"
+            if slo.latency_threshold_s is not None
+            else ""
+        )
+        log.info(
+            f"  {slo.name}: {slo.objective} target {slo.target} "
+            f"(tenant {slo.tenant}{threshold}, burn > {slo.burn_threshold}x "
+            f"over {slo.fast_window_s * 1e3:g}/{slo.slow_window_s * 1e3:g} ms)"
+        )
+    fired = []
+    if args.journal is not None:
+        try:
+            journal = load_journal(args.journal)
+        except JournalError as exc:
+            log.error(str(exc))
+            return 1
+        monitor = SLOMonitor(slos, interval_s=interval)
+        replay_journal(monitor, journal)
+        fired = [a for a in monitor.alerts if a.fired_at_s is not None]
+        _log_slo_summary(monitor, None)
+        if args.as_json:
+            print(json.dumps(monitor.to_dict(), indent=1, sort_keys=True))
+    if fired and args.fail_on_alert:
+        return 1
+    return 0
+
+
+def _cmd_slo_watch(args: argparse.Namespace) -> int:
+    from repro.obs.journal import JournalError, load_journal
+    from repro.obs.recorder import FlightRecorder
+    from repro.obs.slo import (
+        SLOError,
+        SLOMonitor,
+        default_slos,
+        load_slo_config,
+        replay_journal,
+    )
+
+    try:
+        if args.config is not None:
+            slos, interval = load_slo_config(args.config)
+        else:
+            slos, interval = default_slos(), 0.005
+    except SLOError as exc:
+        log.error(str(exc))
+        return 1
+    try:
+        journal = load_journal(args.journal)
+    except JournalError as exc:
+        log.error(str(exc))
+        return 1
+    monitor = SLOMonitor(slos, interval_s=interval)
+    recorder = FlightRecorder(
+        monitor,
+        journal=journal,
+        out_dir=args.bundle_out,
+        lookback_s=args.lookback_s,
+    )
+    replay_journal(monitor, journal)
+    log.info(
+        f"replayed {len(journal.records):,} journal records through "
+        f"{len(slos)} SLO(s)"
+    )
+    for entry in monitor.timeline():
+        log.info(
+            f"  {entry['t_s'] * 1e3:9.2f} ms  {entry['slo']}: "
+            f"{entry['from']} -> {entry['to']}"
+        )
+    fired = [a for a in monitor.alerts if a.fired_at_s is not None]
+    _log_slo_summary(monitor, recorder)
+    if args.as_json:
+        print(json.dumps(monitor.to_dict(), indent=1, sort_keys=True))
+    return 1 if fired else 0
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
@@ -737,6 +894,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--journal-out", default=None,
                        help="write the run's query journal (JSON) to this "
                        "file for `repro workload mine`/`report`")
+        p.add_argument("--journal-max-entries", type=int, default=None,
+                       help="ring-buffer bound on retained journal records; "
+                       "older records are evicted but aggregate per-tenant "
+                       "tallies stay exact")
+        p.add_argument("--slo-config", default=None,
+                       help="JSON SLO config (kind mithrilog_slo_config) "
+                       "enabling live burn-rate alerting during the run")
+        p.add_argument("--bundle-out", default=None,
+                       help="directory where the flight recorder writes an "
+                       "incident bundle (JSON + markdown) each time an "
+                       "alert fires; implies default SLOs when no "
+                       "--slo-config is given")
 
     p = sub.add_parser(
         "serve-sim",
@@ -816,6 +985,46 @@ def build_parser() -> argparse.ArgumentParser:
     w.add_argument("--fail-on-hidden", action="store_true",
                    help="exit 1 when any hidden per-slice regression is found")
     w.set_defaults(func=_cmd_workload_report)
+
+    p = sub.add_parser(
+        "slo",
+        help="validate SLO configs and replay journals through the "
+        "burn-rate alert engine",
+    )
+    ssub = p.add_subparsers(dest="slo_command", required=True)
+
+    s = ssub.add_parser(
+        "check",
+        help="validate an SLO config; optionally replay a journal "
+        "against it",
+    )
+    s.add_argument("--config", required=True,
+                   help="SLO config JSON (kind mithrilog_slo_config)")
+    s.add_argument("--journal", default=None,
+                   help="replay this query journal through the config's SLOs")
+    s.add_argument("--fail-on-alert", action="store_true",
+                   help="exit 1 when the replay fires any alert")
+    s.add_argument("--json", action="store_true", dest="as_json",
+                   help="print the monitor summary JSON to stdout")
+    s.set_defaults(func=_cmd_slo_check)
+
+    s = ssub.add_parser(
+        "watch",
+        help="replay a journal through the alert engine, print the "
+        "transition timeline, write incident bundles; exit 1 when any "
+        "alert fired",
+    )
+    s.add_argument("--journal", required=True, help="journal JSON file")
+    s.add_argument("--config", default=None,
+                   help="SLO config JSON (default: stock objectives)")
+    s.add_argument("--bundle-out", default=None,
+                   help="directory for incident bundles (JSON + markdown)")
+    s.add_argument("--lookback-s", type=float, default=0.25,
+                   help="simulated seconds of evidence captured before "
+                   "an alert fires")
+    s.add_argument("--json", action="store_true", dest="as_json",
+                   help="print the monitor summary JSON to stdout")
+    s.set_defaults(func=_cmd_slo_watch)
 
     return parser
 

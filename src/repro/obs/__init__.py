@@ -32,6 +32,15 @@ interpretation layer on top of it:
   win would hide; markdown + JSON renderers.
 - :mod:`repro.obs.expose` — Prometheus text format and JSON snapshot
   dumps, plus the canonical metric-family bootstrap.
+- :mod:`repro.obs.series` — sim-clock time-series ring buffers over
+  the registry: windowed rates from cumulative counters, windowed
+  percentiles from histogram snapshots.
+- :mod:`repro.obs.slo` — declarative per-tenant SLOs evaluated by a
+  deterministic multi-window burn-rate alert state machine
+  (ok → pending → firing → resolved) on the simulated clock.
+- :mod:`repro.obs.recorder` — the incident flight recorder: validated
+  evidence bundles (series, journal tail, faults, slow-template
+  EXPLAIN) captured the moment an alert fires.
 - :mod:`repro.obs.log` — the structured leveled logger the CLI uses
   instead of bare ``print``.
 
@@ -81,12 +90,38 @@ from repro.obs.profile import (
     merge_profiles,
     profile_to_dict,
 )
+from repro.obs.recorder import (
+    FlightRecorder,
+    looks_like_incident_bundle,
+    render_markdown,
+    validate_incident_bundle,
+    write_bundle,
+)
 from repro.obs.report import (
     ABReport,
     ReportError,
     SliceDelta,
     build_ab_report,
     validate_ab_report,
+)
+from repro.obs.series import (
+    HistogramSnapshotSeries,
+    MetricSampler,
+    RingSeries,
+    SeriesError,
+    SeriesPoint,
+)
+from repro.obs.slo import (
+    SLO,
+    Alert,
+    AlertState,
+    SLOError,
+    SLOMonitor,
+    default_slos,
+    load_slo_config,
+    parse_slo_config,
+    replay_journal,
+    validate_slo_config,
 )
 from repro.obs.timeline import (
     busy_fraction,
@@ -98,21 +133,32 @@ from repro.obs.tracing import Span, SpanTracer, TraceError, validate_chrome_trac
 
 __all__ = [
     "ABReport",
+    "Alert",
+    "AlertState",
     "Counter",
     "ExplainError",
     "ExplainReport",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "HistogramSnapshotSeries",
     "JournalError",
     "JournalRecord",
     "Logger",
     "MetricError",
+    "MetricSampler",
     "MetricsRegistry",
     "PartitionProfile",
     "PlanNode",
     "ProfileBuilder",
     "QueryJournal",
     "ReportError",
+    "RingSeries",
+    "SLO",
+    "SLOError",
+    "SLOMonitor",
+    "SeriesError",
+    "SeriesPoint",
     "SliceDelta",
     "Span",
     "SpanTracer",
@@ -124,15 +170,21 @@ __all__ = [
     "build_explain",
     "busy_fraction",
     "chrome_counter_events",
+    "default_slos",
     "disable",
     "enable",
     "get_logger",
     "get_registry",
     "load_journal",
+    "load_slo_config",
+    "looks_like_incident_bundle",
     "merge_profiles",
     "occupancy_series",
+    "parse_slo_config",
     "profile_to_dict",
+    "render_markdown",
     "render_prometheus",
+    "replay_journal",
     "replay_requests",
     "set_registry",
     "snapshot",
@@ -142,6 +194,9 @@ __all__ = [
     "validate_ab_report",
     "validate_chrome_trace",
     "validate_explain_report",
+    "validate_incident_bundle",
     "validate_journal_payload",
+    "validate_slo_config",
+    "write_bundle",
     "write_snapshot",
 ]

@@ -17,7 +17,12 @@ It exits non-zero when
   .validate_journal_payload` (broken conservation, unresolvable
   template fingerprints, inconsistent latency decomposition),
 - a ``.json`` A/B workload report fails :func:`repro.obs.report
-  .validate_ab_report` (missing slices, contradictory flags).
+  .validate_ab_report` (missing slices, contradictory flags),
+- a ``.json`` incident bundle fails :func:`repro.obs.recorder
+  .validate_incident_bundle` (alert timestamps out of order, burn
+  rates below threshold, journal evidence outside the window),
+- a ``.json`` SLO config fails :func:`repro.obs.slo
+  .validate_slo_config` (bad objectives, duplicate names).
 
 Keeping the validator in the library (rather than a shell one-liner in
 the workflow) makes the failure mode testable.
@@ -37,7 +42,12 @@ from repro.obs.explain import (
 )
 from repro.obs.journal import looks_like_journal, validate_journal_payload
 from repro.obs.log import get_logger
+from repro.obs.recorder import (
+    looks_like_incident_bundle,
+    validate_incident_bundle,
+)
 from repro.obs.report import looks_like_ab_report, validate_ab_report
+from repro.obs.slo import looks_like_slo_config, validate_slo_config
 from repro.obs.tracing import TraceError, validate_chrome_trace
 
 #: Family prefixes a complete Prometheus snapshot must mention.
@@ -53,6 +63,7 @@ REQUIRED_FAMILY_PREFIXES = (
     "mithrilog_profile_",
     "mithrilog_service_",
     "mithrilog_workload_",
+    "mithrilog_slo_",
 )
 
 LOG = get_logger("repro.obs.check")
@@ -111,10 +122,31 @@ def check_file(path: Path) -> Optional[str]:
                 slices=len(payload.get("slices", [])),
             )
             return None
+        if looks_like_incident_bundle(payload):
+            problems = validate_incident_bundle(payload)
+            if problems:
+                return f"{path}: {'; '.join(problems)}"
+            LOG.debug(
+                "incident bundle ok",
+                path=str(path),
+                slo=payload.get("slo", {}).get("name"),
+            )
+            return None
+        if looks_like_slo_config(payload):
+            problems = validate_slo_config(payload)
+            if problems:
+                return f"{path}: {'; '.join(problems)}"
+            LOG.debug(
+                "slo config ok",
+                path=str(path),
+                slos=len(payload.get("slos", [])),
+            )
+            return None
         if "metrics" not in payload:
             return (
                 f"{path}: not a Chrome trace, metrics snapshot, explain "
-                "report, query journal, or A/B report"
+                "report, query journal, A/B report, incident bundle, "
+                "or SLO config"
             )
         return None
     return f"{path}: unknown artifact type (expected .prom or .json)"

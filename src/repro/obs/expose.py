@@ -42,8 +42,16 @@ def _fmt_value(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label_value(value: str) -> str:
+    # Exposition format: backslash, double-quote and line feed must be
+    # escaped inside label values (backslash first, or it re-escapes).
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _fmt_labels(labels: dict[str, str], extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in labels.items()]
+    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in labels.items()]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -263,4 +271,31 @@ def bootstrap_families(registry: Optional[MetricsRegistry] = None) -> None:
         "mithrilog_profile_wall_seconds_total",
         "Measured host wall-clock by scan stage",
         labelnames=("stage",),
+    )
+    registry.counter(
+        "mithrilog_slo_evaluations_total",
+        "Burn-rate evaluation sweeps the monitor has run",
+    )
+    registry.counter(
+        "mithrilog_slo_transitions_total",
+        "Alert state transitions by SLO and new state",
+        labelnames=("slo", "state"),
+    )
+    registry.gauge(
+        "mithrilog_slo_burn_rate",
+        "Latest burn rate by SLO and window",
+        labelnames=("slo", "window"),
+    )
+    registry.gauge(
+        "mithrilog_slo_error_budget_used_ratio",
+        "Cumulative error budget consumed (1.0 = exhausted)",
+        labelnames=("slo",),
+    )
+    registry.gauge(
+        "mithrilog_slo_alerts_firing",
+        "Alerts currently in the firing state",
+    )
+    registry.counter(
+        "mithrilog_slo_incidents_recorded_total",
+        "Incident bundles captured by the flight recorder",
     )

@@ -141,13 +141,29 @@ class QueryJournal:
     Attach one to a :class:`~repro.service.service.QueryService` (the
     ``journal=`` constructor knob) or a :class:`~repro.system.mithrilog
     .MithriLogSystem` and every request that resolves lands here.
+
+    ``max_entries`` bounds memory for long-running services: when set,
+    the journal keeps only the newest ``max_entries`` records as a ring
+    and counts the rest in :attr:`evicted`. Aggregate per-tenant
+    tallies are kept separately from the records, so conservation
+    accounting stays exact no matter how many records were evicted;
+    sequence numbers keep counting total appends.
     """
 
-    def __init__(self, meta: Optional[dict] = None) -> None:
+    def __init__(
+        self,
+        meta: Optional[dict] = None,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries <= 0:
+            raise JournalError("max_entries must be positive when set")
         self.records: list[JournalRecord] = []
         self.templates: dict[str, str] = {}  #: fingerprint -> query text
         self.meta: dict = dict(meta or {})
         self.window: str = ""
+        self.max_entries = max_entries
+        self.evicted = 0  #: records dropped by ring retention
+        self._appended = 0  #: total appends ever (sequence source)
         self._tallies: dict[str, _TenantTally] = {}
         registry = get_registry()
         if registry is not None:
@@ -183,11 +199,24 @@ class QueryJournal:
                 self._m_templates.set(len(self.templates))
         return fingerprint
 
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next appended record should carry."""
+        return self._appended
+
     def append(self, record: JournalRecord) -> None:
         """Append one pre-built record (the low-level writer)."""
         if record.outcome not in OUTCOMES:
             raise JournalError(f"unknown outcome {record.outcome!r}")
         self.records.append(record)
+        self._appended += 1
+        if (
+            self.max_entries is not None
+            and len(self.records) > self.max_entries
+        ):
+            overflow = len(self.records) - self.max_entries
+            del self.records[:overflow]
+            self.evicted += overflow
         tally = self._tallies.setdefault(record.tenant, _TenantTally())
         setattr(tally, record.outcome, getattr(tally, record.outcome) + 1)
         if self._m_records is not None:
@@ -198,7 +227,7 @@ class QueryJournal:
         request = response.request
         fingerprint = self.register_template(str(request.query))
         record = JournalRecord(
-            seq=len(self.records),
+            seq=self.next_seq,
             window=self.window,
             tenant=request.tenant,
             template=fingerprint,
@@ -239,7 +268,7 @@ class QueryJournal:
         self.note_submitted(tenant)
         fingerprint = self.register_template(query_text)
         record = JournalRecord(
-            seq=len(self.records),
+            seq=self.next_seq,
             window=self.window,
             tenant=tenant,
             template=fingerprint,
@@ -299,7 +328,7 @@ class QueryJournal:
     # -- serialisation ----------------------------------------------------
 
     def to_payload(self) -> dict:
-        return {
+        payload = {
             "kind": JOURNAL_KIND,
             "version": JOURNAL_VERSION,
             "meta": self.meta,
@@ -307,6 +336,9 @@ class QueryJournal:
             "tenants": self.tenant_tallies(),
             "records": [r.to_dict() for r in self.records],
         }
+        if self.evicted:
+            payload["evicted"] = self.evicted
+        return payload
 
     def to_json(self, indent: Optional[int] = 1) -> str:
         return json.dumps(self.to_payload(), indent=indent, sort_keys=False)
@@ -326,6 +358,8 @@ class QueryJournal:
         journal.templates = dict(payload["templates"])
         for entry in payload["records"]:
             journal.records.append(JournalRecord.from_dict(entry))
+        journal.evicted = int(payload.get("evicted", 0))
+        journal._appended = journal.evicted + len(journal.records)
         for tenant, tally in payload["tenants"].items():
             journal._tallies[tenant] = _TenantTally(
                 submitted=tally["submitted"],
@@ -431,21 +465,46 @@ def validate_journal_payload(payload: object) -> list[str]:
             problems.append("... (further problems suppressed)")
             break
 
+    evicted = payload.get("evicted", 0)
+    if not isinstance(evicted, int) or evicted < 0:
+        problems.append("evicted must be a non-negative integer")
+        evicted = 0
+    shortfall = 0
     for tenant, declared in tenants.items():
         counted = recount.get(tenant, _TenantTally())
         for outcome in OUTCOMES:
-            if declared.get(outcome) != getattr(counted, outcome):
+            declared_n = declared.get(outcome)
+            counted_n = getattr(counted, outcome)
+            if not isinstance(declared_n, int):
                 problems.append(
                     f"tenant {tenant}: declared {outcome} tally "
-                    f"{declared.get(outcome)} != {getattr(counted, outcome)} "
-                    "counted from records"
+                    f"{declared_n!r} is not an integer"
                 )
+                continue
+            if evicted == 0 and declared_n != counted_n:
+                problems.append(
+                    f"tenant {tenant}: declared {outcome} tally "
+                    f"{declared_n} != {counted_n} counted from records"
+                )
+            elif declared_n < counted_n:
+                problems.append(
+                    f"tenant {tenant}: declared {outcome} tally "
+                    f"{declared_n} < {counted_n} counted from retained "
+                    "records"
+                )
+            else:
+                shortfall += declared_n - counted_n
         total = sum(declared.get(o, 0) for o in OUTCOMES)
         if declared.get("submitted") != total:
             problems.append(
                 f"tenant {tenant}: conservation violated — submitted "
                 f"{declared.get('submitted')} != sum of outcomes {total}"
             )
+    if evicted and shortfall != evicted:
+        problems.append(
+            f"evicted count {evicted} does not match the {shortfall} "
+            "records missing from the declared tallies"
+        )
     for tenant in recount:
         if tenant not in tenants:
             problems.append(f"tenant {tenant}: records exist but no tally")

@@ -1,0 +1,417 @@
+"""Sim-clock time series: ring buffers over the metrics registry.
+
+The registry (:mod:`repro.obs.metrics`) holds *cumulative* state —
+counters only go up, histograms only accumulate. Live monitoring needs
+the derivative: requests per second over the last window, p99 latency
+over the last window. This module closes that gap without touching the
+hot path:
+
+- :class:`RingSeries` — a bounded ring of ``(t, value)`` samples on the
+  simulated clock, with windowed ``delta`` and ``rate`` helpers for
+  cumulative inputs,
+- :class:`HistogramSnapshotSeries` — a ring of cumulative histogram
+  snapshots, with :meth:`HistogramSnapshotSeries.windowed_percentile`
+  computed from *bucket-count deltas* (exactly how a dashboard derives
+  windowed p99 from Prometheus ``_bucket`` series),
+- :class:`MetricSampler` — walks ``registry.collect()`` at a
+  configurable sim-time cadence and appends one sample per
+  ``(metric, labelset)`` to the matching series.
+
+Everything is driven by explicit ``now`` arguments — wall clock never
+appears, so two runs with the same seed produce byte-identical series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.obs.metrics import Histogram, MetricsRegistry, get_registry
+
+__all__ = [
+    "SeriesError",
+    "SeriesPoint",
+    "RingSeries",
+    "HistogramSnapshotSeries",
+    "MetricSampler",
+]
+
+
+class SeriesError(ValueError):
+    """Misuse of the time-series API (non-monotone time, bad window)."""
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One sample: simulated timestamp and the value observed there."""
+
+    t_s: float
+    value: float
+
+
+class RingSeries:
+    """A bounded, monotone-time ring of scalar samples.
+
+    Appends must carry non-decreasing timestamps (the simulated clock
+    only moves forward); the ring keeps the most recent ``max_points``
+    samples. ``kind`` records what the underlying metric was
+    (``counter``/``gauge``) so consumers know whether ``rate`` is
+    meaningful.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        labels: Optional[dict[str, str]] = None,
+        kind: str = "gauge",
+        max_points: int = 512,
+    ) -> None:
+        if max_points <= 1:
+            raise SeriesError("RingSeries needs max_points > 1")
+        self.name = name
+        self.labels = dict(labels or {})
+        self.kind = kind
+        self.max_points = int(max_points)
+        self._points: list[SeriesPoint] = []
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def append(self, t_s: float, value: float) -> None:
+        """Record ``value`` at simulated time ``t_s`` (non-decreasing)."""
+        if self._points and t_s < self._points[-1].t_s:
+            raise SeriesError(
+                f"series {self.name}: time went backwards "
+                f"({t_s} < {self._points[-1].t_s})"
+            )
+        if self._points and t_s == self._points[-1].t_s:
+            # Same instant: keep the latest observation only.
+            self._points[-1] = SeriesPoint(t_s, float(value))
+            return
+        self._points.append(SeriesPoint(t_s, float(value)))
+        if len(self._points) > self.max_points:
+            del self._points[: len(self._points) - self.max_points]
+
+    def points(self) -> list[SeriesPoint]:
+        """All retained samples, oldest first."""
+        return list(self._points)
+
+    def window(self, start_s: float, end_s: float) -> list[SeriesPoint]:
+        """Samples with ``start_s <= t <= end_s``, oldest first."""
+        return [p for p in self._points if start_s <= p.t_s <= end_s]
+
+    def latest(self) -> Optional[SeriesPoint]:
+        """The most recent sample, or ``None`` when empty."""
+        return self._points[-1] if self._points else None
+
+    def value_at(self, t_s: float) -> float:
+        """Latest sampled value at or before ``t_s`` (0.0 when none)."""
+        result = 0.0
+        for point in self._points:
+            if point.t_s > t_s:
+                break
+            result = point.value
+        return result
+
+    def delta(self, window_s: float, now_s: float) -> float:
+        """Increase over the trailing window ``[now - window_s, now]``."""
+        if window_s <= 0:
+            raise SeriesError("delta needs a positive window")
+        return self.value_at(now_s) - self.value_at(now_s - window_s)
+
+    def rate(self, window_s: float, now_s: float) -> float:
+        """Per-second increase over the trailing window."""
+        return self.delta(window_s, now_s) / window_s
+
+    def to_dict(
+        self, start_s: Optional[float] = None, end_s: Optional[float] = None
+    ) -> dict:
+        """JSON-ready form, optionally restricted to ``[start_s, end_s]``."""
+        points = self._points
+        if start_s is not None or end_s is not None:
+            lo = -math.inf if start_s is None else start_s
+            hi = math.inf if end_s is None else end_s
+            points = [p for p in points if lo <= p.t_s <= hi]
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "kind": self.kind,
+            "points": [[p.t_s, p.value] for p in points],
+        }
+
+
+@dataclass(frozen=True)
+class _HistSnapshot:
+    t_s: float
+    buckets: tuple[float, ...]
+    sum: float
+    count: float
+
+
+class HistogramSnapshotSeries:
+    """A ring of cumulative histogram snapshots with windowed percentiles.
+
+    Each sample stores the full cumulative bucket vector. A windowed
+    percentile subtracts the snapshot at the window start from the one
+    at the window end — the classic PromQL
+    ``histogram_quantile(rate(..._bucket[w]))`` computation, done
+    deterministically on the sim clock.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        edges: Sequence[float],
+        labels: Optional[dict[str, str]] = None,
+        max_points: int = 512,
+    ) -> None:
+        if max_points <= 1:
+            raise SeriesError("HistogramSnapshotSeries needs max_points > 1")
+        self.name = name
+        self.labels = dict(labels or {})
+        self.edges = tuple(float(e) for e in edges)
+        self.max_points = int(max_points)
+        self._snaps: list[_HistSnapshot] = []
+
+    def __len__(self) -> int:
+        return len(self._snaps)
+
+    def append(
+        self, t_s: float, buckets: Iterable[float], sum_: float, count: float
+    ) -> None:
+        """Record one cumulative snapshot at simulated time ``t_s``."""
+        if self._snaps and t_s < self._snaps[-1].t_s:
+            raise SeriesError(
+                f"histogram series {self.name}: time went backwards"
+            )
+        snap = _HistSnapshot(t_s, tuple(buckets), float(sum_), float(count))
+        if self._snaps and t_s == self._snaps[-1].t_s:
+            self._snaps[-1] = snap
+        else:
+            self._snaps.append(snap)
+        if len(self._snaps) > self.max_points:
+            del self._snaps[: len(self._snaps) - self.max_points]
+
+    def _at(self, t_s: float) -> Optional[_HistSnapshot]:
+        result = None
+        for snap in self._snaps:
+            if snap.t_s > t_s:
+                break
+            result = snap
+        return result
+
+    def windowed_counts(
+        self, window_s: float, now_s: float
+    ) -> tuple[list[float], float, float]:
+        """Bucket/sum/count deltas over the trailing window."""
+        if window_s <= 0:
+            raise SeriesError("windowed_counts needs a positive window")
+        end = self._at(now_s)
+        if end is None:
+            return [0.0] * len(self.edges), 0.0, 0.0
+        start = self._at(now_s - window_s)
+        if start is None:
+            return list(end.buckets), end.sum, end.count
+        buckets = [e - s for e, s in zip(end.buckets, start.buckets)]
+        return buckets, end.sum - start.sum, end.count - start.count
+
+    def windowed_percentile(
+        self, q: float, window_s: float, now_s: float
+    ) -> Optional[float]:
+        """Approximate the q-quantile over the trailing window.
+
+        Linear interpolation within the winning bucket, Prometheus
+        style; for the +Inf bucket the last finite edge is returned.
+        ``None`` when the window saw no observations.
+        """
+        if not 0.0 < q < 1.0:
+            raise SeriesError("percentile q must be in (0, 1)")
+        buckets, _, count = self.windowed_counts(window_s, now_s)
+        if count <= 0:
+            return None
+        target = q * count
+        prev_cum = 0.0
+        prev_edge = 0.0
+        for edge, cum in zip(self.edges, buckets):
+            if cum >= target:
+                if edge == math.inf:
+                    return prev_edge
+                span = cum - prev_cum
+                if span <= 0:
+                    return edge
+                frac = (target - prev_cum) / span
+                return prev_edge + frac * (edge - prev_edge)
+            prev_cum = cum
+            if edge != math.inf:
+                prev_edge = edge
+        return prev_edge
+
+    def to_dict(
+        self, start_s: Optional[float] = None, end_s: Optional[float] = None
+    ) -> dict:
+        """JSON-ready form, optionally restricted to ``[start_s, end_s]``."""
+        snaps = self._snaps
+        if start_s is not None or end_s is not None:
+            lo = -math.inf if start_s is None else start_s
+            hi = math.inf if end_s is None else end_s
+            snaps = [s for s in snaps if lo <= s.t_s <= hi]
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "kind": "histogram",
+            "edges": ["inf" if e == math.inf else e for e in self.edges],
+            "points": [
+                {
+                    "t_s": s.t_s,
+                    "buckets": list(s.buckets),
+                    "sum": s.sum,
+                    "count": s.count,
+                }
+                for s in snaps
+            ],
+        }
+
+
+def _series_key(name: str, labels: dict[str, str]) -> tuple:
+    return (name, tuple(sorted(labels.items())))
+
+
+class MetricSampler:
+    """Samples a :class:`MetricsRegistry` into ring series on a cadence.
+
+    ``maybe_sample(now)`` is cheap to call from an event loop: it only
+    walks the registry when at least ``interval_s`` of simulated time
+    has passed since the previous sample. ``prefixes`` restricts
+    sampling to matching metric names (default: everything).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        interval_s: float = 0.005,
+        max_points: int = 512,
+        prefixes: Optional[Sequence[str]] = None,
+    ) -> None:
+        if interval_s <= 0:
+            raise SeriesError("sampler interval must be positive")
+        self.registry = registry if registry is not None else get_registry()
+        self.interval_s = float(interval_s)
+        self.max_points = int(max_points)
+        self.prefixes = tuple(prefixes) if prefixes else None
+        self.samples_taken = 0
+        self.last_sample_s: Optional[float] = None
+        self._scalar: dict[tuple, RingSeries] = {}
+        self._hist: dict[tuple, HistogramSnapshotSeries] = {}
+
+    def _wants(self, name: str) -> bool:
+        if self.prefixes is None:
+            return True
+        return any(name.startswith(p) for p in self.prefixes)
+
+    def maybe_sample(self, now_s: float) -> bool:
+        """Sample if the cadence is due; returns whether a sample ran."""
+        if (
+            self.last_sample_s is not None
+            and now_s - self.last_sample_s < self.interval_s
+        ):
+            return False
+        self.sample(now_s)
+        return True
+
+    def sample(self, now_s: float) -> None:
+        """Walk the registry and append one point per live series."""
+        if self.registry is None:
+            return
+        for metric in self.registry.collect():
+            if not self._wants(metric.name):
+                continue
+            if isinstance(metric, Histogram):
+                for labels, buckets, total, count in metric.series():
+                    key = _series_key(metric.name, labels)
+                    series = self._hist.get(key)
+                    if series is None:
+                        series = HistogramSnapshotSeries(
+                            metric.name,
+                            metric.buckets,
+                            labels,
+                            max_points=self.max_points,
+                        )
+                        self._hist[key] = series
+                    series.append(now_s, buckets, total, count)
+            else:
+                for labels, value in metric.samples():
+                    key = _series_key(metric.name, labels)
+                    series = self._scalar.get(key)
+                    if series is None:
+                        series = RingSeries(
+                            metric.name,
+                            labels,
+                            kind=metric.kind,
+                            max_points=self.max_points,
+                        )
+                        self._scalar[key] = series
+                    series.append(now_s, value)
+        self.samples_taken += 1
+        self.last_sample_s = now_s
+
+    def series(
+        self, name: str, labels: Optional[dict[str, str]] = None
+    ) -> Optional[RingSeries]:
+        """The scalar series for ``(name, labels)``, or ``None``."""
+        return self._scalar.get(_series_key(name, dict(labels or {})))
+
+    def histogram_series(
+        self, name: str, labels: Optional[dict[str, str]] = None
+    ) -> Optional[HistogramSnapshotSeries]:
+        """The histogram snapshot series for ``(name, labels)``."""
+        return self._hist.get(_series_key(name, dict(labels or {})))
+
+    def all_series(self) -> list[RingSeries]:
+        """Every scalar series, sorted by (name, labels)."""
+        return [self._scalar[k] for k in sorted(self._scalar)]
+
+    def all_histogram_series(self) -> list[HistogramSnapshotSeries]:
+        """Every histogram snapshot series, sorted by (name, labels)."""
+        return [self._hist[k] for k in sorted(self._hist)]
+
+    def rate(
+        self,
+        name: str,
+        window_s: float,
+        now_s: float,
+        labels: Optional[dict[str, str]] = None,
+    ) -> float:
+        """Windowed per-second rate of a sampled counter (0.0 if unseen)."""
+        series = self.series(name, labels)
+        if series is None:
+            return 0.0
+        return series.rate(window_s, now_s)
+
+    def percentile(
+        self,
+        name: str,
+        q: float,
+        window_s: float,
+        now_s: float,
+        labels: Optional[dict[str, str]] = None,
+    ) -> Optional[float]:
+        """Windowed quantile of a sampled histogram (``None`` if unseen)."""
+        series = self.histogram_series(name, labels)
+        if series is None:
+            return None
+        return series.windowed_percentile(q, window_s, now_s)
+
+    def to_dict(
+        self, start_s: Optional[float] = None, end_s: Optional[float] = None
+    ) -> dict:
+        """All series as a JSON-ready object (for incident bundles)."""
+        return {
+            "interval_s": self.interval_s,
+            "samples_taken": self.samples_taken,
+            "series": [s.to_dict(start_s, end_s) for s in self.all_series()],
+            "histograms": [
+                s.to_dict(start_s, end_s)
+                for s in self.all_histogram_series()
+            ],
+        }

@@ -48,6 +48,7 @@ from repro.system.mithrilog import MithriLogSystem
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injectors import ServiceFaultInjector
     from repro.obs.journal import QueryJournal
+    from repro.obs.slo import SLOMonitor
     from repro.service.hints import TemplateHintProvider
     from repro.service.workload import WorkloadSource
 
@@ -127,6 +128,7 @@ class QueryService:
         tracer: Optional[SpanTracer] = None,
         journal: Optional["QueryJournal"] = None,
         hints: Optional["TemplateHintProvider"] = None,
+        monitor: Optional["SLOMonitor"] = None,
     ) -> None:
         self.backend = backend
         self.is_cluster = isinstance(backend, MithriLogCluster)
@@ -152,6 +154,9 @@ class QueryService:
         #: append-only query journal; every settled response lands here
         self.journal = journal
         self.hints = hints
+        #: live SLO monitor; every settled response is observed at its
+        #: simulated completion time (burn-rate alerting, flight recorder)
+        self.monitor = monitor
         self.passes = 0
         registry = get_registry()
         if registry is not None:
@@ -233,6 +238,8 @@ class QueryService:
                 stats[tenant].record(response)
             if self.journal is not None:
                 self.journal.observe(response)
+            if self.monitor is not None:
+                self.monitor.observe_response(response, self.clock.now)
             if self._m_requests is not None:
                 self._m_requests.inc(
                     tenant=tenant, outcome=response.outcome.value
@@ -279,6 +286,10 @@ class QueryService:
                 settle(response)
             self._publish_queue_gauges()
 
+        if self.monitor is not None:
+            # force a final evaluation so alerts straddling the last
+            # settled event still advance (e.g. firing -> resolved)
+            self.monitor.evaluate(self.clock.now)
         return ServiceReport(
             responses=responses,
             tenants=stats,

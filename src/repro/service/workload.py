@@ -306,6 +306,7 @@ def run_sweep(
     seed: int = 0,
     workers: int = 1,
     journal: Optional[object] = None,
+    monitor: Optional[object] = None,
 ) -> list[SweepPoint]:
     """Offered-load sweep: one fresh service per level, open-loop traffic.
 
@@ -318,9 +319,12 @@ def run_sweep(
     Pass a :class:`repro.obs.journal.QueryJournal` as ``journal`` to
     capture every request across the sweep; each load level opens its
     own journal window (``load-x<multiple>``) so the levels can be
-    mined and diffed independently afterwards.
+    mined and diffed independently afterwards. Pass an
+    :class:`repro.obs.slo.SLOMonitor` as ``monitor`` to evaluate SLO
+    burn rates live across every level of the sweep.
     """
     points: list[SweepPoint] = []
+    time_base = 0.0
     for multiple in load_multiples:
         offered = capacity_qps * multiple
         requests = open_loop_requests(
@@ -335,7 +339,16 @@ def run_sweep(
         if journal is not None:
             journal.begin_window(f"load-x{multiple:g}")
             service.journal = journal
+        if monitor is not None:
+            service.monitor = monitor
+            # each level gets a fresh service (and clock); rebase onto
+            # the previous level's end so the monitor's simulated
+            # timeline stays monotone across the whole sweep
+            if time_base > service.clock.now:
+                service.clock.advance_to(time_base)
         report = service.run(requests, workers=workers)
+        if monitor is not None:
+            time_base = service.clock.now
         points.append(
             SweepPoint(
                 load_multiple=multiple,

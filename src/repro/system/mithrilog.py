@@ -222,6 +222,7 @@ class MithriLogSystem:
         scan_kernel: Optional[str] = None,
         scan_backend: Optional[str] = None,
         journal=None,
+        monitor=None,
     ) -> None:
         self.params = params if params is not None else PROTOTYPE
         #: Scan kernel/backend overrides (None defers to the
@@ -280,6 +281,11 @@ class MithriLogSystem:
         #: (tenant ``_direct`` — service-layer traffic is journalled by
         #: the service itself, which owns admission context).
         self.journal = journal
+        #: Optional :class:`repro.obs.slo.SLOMonitor`; when set, every
+        #: direct ``query()`` call is observed as a settled ``_direct``
+        #: event at its simulated completion time, so SLOs cover traffic
+        #: that bypasses the service layer too.
+        self.monitor = monitor
         #: Monotonic query counter, minting trace ids (``q1``, ``q2``, ...).
         self._query_seq = 0
         registry = get_registry()
@@ -617,6 +623,14 @@ class MithriLogSystem:
                     stage=stats.bottleneck,
                     completed_at_s=self.clock.now,
                     batch_size=len(queries),
+                )
+        if self.monitor is not None:
+            for _ in queries:
+                self.monitor.observe(
+                    tenant="_direct",
+                    outcome="ok",
+                    latency_s=stats.elapsed_s,
+                    now_s=self.clock.now,
                 )
         report = None
         if analyze:

@@ -31,6 +31,20 @@ class TestPrometheusText:
         c.inc(2, mode="filter")
         assert 'reads_total{mode="filter"} 2' in render_prometheus(registry)
 
+    def test_label_values_escaped(self, registry):
+        # exposition format: backslash, double-quote and newline must be
+        # escaped inside label values or the line becomes unparseable
+        c = registry.counter("req_total", labelnames=("tenant",))
+        c.inc(1, tenant='acme "prod"\nteam\\eu')
+        text = render_prometheus(registry)
+        assert (
+            'req_total{tenant="acme \\"prod\\"\\nteam\\\\eu"} 1' in text
+        )
+        # no raw newline may survive inside a sample line
+        for line in text.splitlines():
+            if line.startswith("req_total{"):
+                assert line.count('"') % 2 == 0
+
     def test_untouched_metric_renders_zero(self, registry):
         registry.counter("quiet_total", "never incremented")
         assert "quiet_total 0" in render_prometheus(registry)
@@ -94,6 +108,7 @@ class TestBootstrapFamilies:
             "mithrilog_faults_",
             "mithrilog_query_",
             "mithrilog_scan_",
+            "mithrilog_slo_",
         ):
             assert family in text, family
 

@@ -133,6 +133,71 @@ class TestJournalWriting:
         assert len(journal.templates) == 1
 
 
+class TestRetention:
+    def _fill(self, journal, n):
+        journal.register_template("q")
+        for i in range(n):
+            journal.note_submitted("t0")
+            journal.append(make_record(seq=journal.next_seq))
+
+    def test_unbounded_by_default(self):
+        journal = QueryJournal()
+        self._fill(journal, 10)
+        assert len(journal) == 10
+        assert journal.evicted == 0
+
+    def test_ring_keeps_newest(self):
+        journal = QueryJournal(max_entries=4)
+        self._fill(journal, 10)
+        assert len(journal) == 4
+        assert journal.evicted == 6
+        # the survivors are the most recent appends
+        assert [r.seq for r in journal.records] == [6, 7, 8, 9]
+
+    def test_tallies_stay_exact_across_eviction(self):
+        journal = QueryJournal(max_entries=3)
+        self._fill(journal, 8)
+        tally = journal.tenant_tallies()["t0"]
+        assert tally["submitted"] == 8
+        assert tally["ok"] == 8
+        assert journal.conserved()
+
+    def test_invalid_max_entries_rejected(self):
+        with pytest.raises(JournalError):
+            QueryJournal(max_entries=0)
+        with pytest.raises(JournalError):
+            QueryJournal(max_entries=-3)
+
+    def test_payload_round_trip_records_evictions(self):
+        journal = QueryJournal(max_entries=2)
+        self._fill(journal, 5)
+        payload = journal.to_payload()
+        assert payload["evicted"] == 3
+        assert validate_journal_payload(payload) == []
+        loaded = QueryJournal.from_payload(payload)
+        assert loaded.evicted == 3
+        assert loaded.next_seq == 5
+        assert loaded.to_payload() == payload
+
+    def test_validator_rejects_phantom_evictions(self):
+        # tallies smaller than the records present cannot be explained
+        # by eviction
+        journal = QueryJournal(max_entries=2)
+        self._fill(journal, 5)
+        payload = json.loads(journal.to_json())
+        payload["evicted"] = 7  # claims more missing than the tallies show
+        problems = validate_journal_payload(payload)
+        assert any("evicted" in p for p in problems)
+
+    def test_validator_rejects_undeclared_shortfall(self):
+        journal = QueryJournal(max_entries=2)
+        self._fill(journal, 5)
+        payload = json.loads(journal.to_json())
+        del payload["evicted"]  # records are missing but none declared
+        problems = validate_journal_payload(payload)
+        assert problems
+
+
 class TestServiceIntegration:
     def test_every_response_journalled(self, corpus, tenants, pool):
         journal = QueryJournal()

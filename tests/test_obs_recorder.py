@@ -1,0 +1,242 @@
+"""The incident flight recorder: capture, artifacts, validation."""
+
+import json
+
+import pytest
+
+from repro.datasets.synthetic import generator_for
+from repro.faults.injectors import ServiceFaultInjector
+from repro.faults.schedules import AtOperationsSchedule
+from repro.obs.journal import QueryJournal
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.recorder import (
+    FlightRecorder,
+    looks_like_incident_bundle,
+    render_markdown,
+    validate_incident_bundle,
+    write_bundle,
+)
+from repro.obs.series import MetricSampler
+from repro.obs.slo import SLO, SLOMonitor
+from repro.service import (
+    QueryService,
+    make_tenants,
+    open_loop_requests,
+    query_pool,
+)
+from repro.system.mithrilog import MithriLogSystem
+
+
+def twitchy_slo(**overrides):
+    fields = dict(
+        name="avail",
+        objective="availability",
+        target=0.9,
+        fast_window_s=0.05,
+        slow_window_s=0.25,
+        burn_threshold=2.0,
+        resolve_after_s=0.1,
+    )
+    fields.update(overrides)
+    return SLO(**fields)
+
+
+def synthetic_incident(journal=None, sampler=None, **recorder_kwargs):
+    """Drive a monitor through an incident and return its recorder."""
+    monitor = SLOMonitor([twitchy_slo()], interval_s=0.005, sampler=sampler)
+    recorder = FlightRecorder(
+        monitor, sampler=sampler, journal=journal, **recorder_kwargs
+    )
+    t = 0.0
+    for _ in range(10):
+        monitor.observe("t0", "ok", 0.001, now_s=t)
+        monitor.evaluate(t)
+        t += 0.005
+    for _ in range(40):
+        monitor.observe("t0", "shed", 0.0, now_s=t)
+        monitor.evaluate(t)
+        t += 0.005
+    return recorder
+
+
+class TestCapture:
+    def test_fire_captures_one_bundle(self):
+        recorder = synthetic_incident()
+        assert len(recorder.bundles) == 1
+        bundle = recorder.bundles[0]
+        assert looks_like_incident_bundle(bundle)
+        assert validate_incident_bundle(bundle) == []
+        assert bundle["slo"]["name"] == "avail"
+        assert bundle["alert"]["fired_at_s"] is not None
+        assert bundle["journal"] == {"available": False}
+
+    def test_incident_counter_increments(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            synthetic_incident()
+            counter = registry.counter(
+                "mithrilog_slo_incidents_recorded_total"
+            )
+            assert counter.value() == 1
+
+    def test_sampler_series_windowed_into_bundle(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            registry.counter("mithrilog_demo_total").inc()
+            sampler = MetricSampler(registry, interval_s=0.005)
+            recorder = synthetic_incident(sampler=sampler)
+        bundle = recorder.bundles[0]
+        assert "series" in bundle
+        window = bundle["window"]
+        for series in bundle["series"]["series"]:
+            for t_s, _ in series["points"]:
+                assert window["start_s"] <= t_s <= window["end_s"]
+
+    def test_journal_tail_restricted_to_window(self):
+        journal = QueryJournal()
+        for i in range(60):
+            journal.note_submitted("t0")
+            journal.observe_direct(
+                "q",
+                latency_s=0.001,
+                matches=1,
+                stage="flash",
+                completed_at_s=i * 0.005,
+                tenant="t0",
+            )
+        recorder = synthetic_incident(journal=journal)
+        bundle = recorder.bundles[0]
+        assert bundle["journal"]["available"]
+        assert bundle["journal"]["records"]
+        assert validate_incident_bundle(bundle) == []
+
+    def test_bundle_json_serialisable(self):
+        recorder = synthetic_incident()
+        json.dumps(recorder.bundles[0])
+
+
+class TestArtifacts:
+    def test_write_bundle_deterministic_names(self, tmp_path):
+        recorder = synthetic_incident()
+        paths = write_bundle(recorder.bundles[0], tmp_path)
+        assert [p.suffix for p in paths] == [".json", ".md"]
+        again = write_bundle(recorder.bundles[0], tmp_path)
+        assert paths == again  # same bundle, same file names
+
+    def test_out_dir_writes_at_fire_time(self, tmp_path):
+        recorder = synthetic_incident(out_dir=tmp_path)
+        assert len(recorder.written) == 2
+        payload = json.loads(recorder.written[0].read_text())
+        assert validate_incident_bundle(payload) == []
+
+    def test_markdown_mentions_the_essentials(self):
+        recorder = synthetic_incident()
+        text = render_markdown(recorder.bundles[0])
+        assert "# Incident: `avail`" in text
+        assert "Burn rates at fire" in text
+
+
+class TestValidator:
+    def make_bundle(self):
+        return synthetic_incident().bundles[0]
+
+    def test_rejects_kind_mismatch(self):
+        assert validate_incident_bundle({"kind": "nope"})
+        assert not looks_like_incident_bundle([1])
+
+    def test_rejects_unfired_alert(self):
+        bundle = self.make_bundle()
+        del bundle["alert"]["fired_at_s"]
+        assert any(
+            "never fired" in p for p in validate_incident_bundle(bundle)
+        )
+
+    def test_rejects_subthreshold_burn(self):
+        bundle = self.make_bundle()
+        bundle["alert"]["burn_fast_at_fire"] = 0.1
+        assert any(
+            "burn" in p for p in validate_incident_bundle(bundle)
+        )
+
+    def test_rejects_record_outside_window(self):
+        bundle = self.make_bundle()
+        bundle["journal"] = {
+            "available": True,
+            "records": [{"completed_at_s": 1e9}],
+        }
+        assert any(
+            "outside" in p for p in validate_incident_bundle(bundle)
+        )
+
+    def test_rejects_inverted_window(self):
+        bundle = self.make_bundle()
+        bundle["window"] = {"start_s": 2.0, "end_s": 1.0}
+        assert any(
+            "window" in p for p in validate_incident_bundle(bundle)
+        )
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generator_for("Liberty2").generate(1500)
+
+    def test_faulted_service_run_produces_valid_bundle(self, corpus, tmp_path):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            from repro.obs.expose import bootstrap_families
+
+            bootstrap_families(registry)
+            system = MithriLogSystem()
+            system.ingest(corpus)
+            tenants = make_tenants(3)
+            pool = query_pool(corpus, max_queries=8, seed=0)
+            journal = QueryJournal()
+            injector = ServiceFaultInjector(
+                slow_passes=AtOperationsSchedule(range(5, 40)),
+                slowdown=8.0,
+            )
+            sampler = MetricSampler(registry, interval_s=0.005)
+            monitor = SLOMonitor(
+                [twitchy_slo()], interval_s=0.005, sampler=sampler
+            )
+            recorder = FlightRecorder(
+                monitor,
+                sampler=sampler,
+                journal=journal,
+                fault_logs=[injector.log],
+                system=system,
+                out_dir=tmp_path,
+            )
+            service = QueryService(
+                system,
+                tenants,
+                max_backlog=8,
+                journal=journal,
+                monitor=monitor,
+                fault_injector=injector,
+            )
+            requests = open_loop_requests(
+                pool,
+                tenants,
+                offered_qps=700,
+                duration_s=0.4,
+                seed=0,
+                deadline_s=0.05,
+            )
+            service.run(requests)
+        fired = [a for a in monitor.alerts if a.fired_at_s is not None]
+        assert fired, "fault injection should have tripped the SLO"
+        assert recorder.bundles
+        for bundle in recorder.bundles:
+            assert validate_incident_bundle(bundle) == []
+        # the slow template section names a real journal template
+        bundle = recorder.bundles[0]
+        slow = bundle.get("slow_template")
+        if slow is not None:
+            assert slow["template"] in journal.templates
+            if "explain" in slow:
+                from repro.obs.explain import looks_like_explain
+
+                assert looks_like_explain(slow["explain"])
+        assert recorder.written  # artifacts were written at fire time

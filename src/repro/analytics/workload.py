@@ -16,11 +16,12 @@ test suite pins with hypothesis).
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Union
 
 from repro.errors import QueryError
-from repro.obs.journal import JournalRecord, QueryJournal
+from repro.obs.journal import JournalRecord, QueryJournal, template_fingerprint
 
 __all__ = [
     "DIMENSIONS",
@@ -29,11 +30,30 @@ __all__ = [
     "WorkloadProfile",
     "drift",
     "hot_templates",
+    "line_template_fingerprint",
     "mine",
 ]
 
 #: The slicing dimensions a profile always materialises.
-DIMENSIONS = ("tenant", "template", "stage", "outcome")
+DIMENSIONS = ("tenant", "template", "stage", "outcome", "mode")
+
+_HEX_RUN = re.compile(r"\b0x[0-9a-fA-F]+\b|\b[0-9a-fA-F]{8,}\b")
+_DIGIT_RUN = re.compile(r"\d+")
+
+
+def line_template_fingerprint(line: bytes) -> str:
+    """Fingerprint of a raw log line's *template* (variables masked).
+
+    The standing-query registry keys its ``distinct_templates`` window
+    aggregate on this: hex runs and digit runs are masked before
+    hashing, so two lines that differ only in request ids, addresses or
+    counters collapse to the same fingerprint. Shares the sha1-prefix
+    scheme of :func:`repro.obs.journal.template_fingerprint`.
+    """
+    text = line.decode("utf-8", errors="replace")
+    text = _HEX_RUN.sub("#", text)
+    text = _DIGIT_RUN.sub("#", text)
+    return template_fingerprint(text)
 
 
 def _percentile(values: list[float], q: float) -> float:
@@ -49,16 +69,18 @@ class SliceStats:
     """One slice of the workload: counts, losses and latency shape.
 
     ``value`` is the slice key within its dimension (a tenant name, a
-    template fingerprint, a bottleneck stage, or an outcome). Latency
-    percentiles cover OK responses only — refusals are instantaneous
-    and would drag every percentile toward zero; their story is told by
-    the outcome tallies and ``reasons`` instead.
+    template fingerprint, a bottleneck stage, an outcome, or an
+    execution mode). Latency percentiles cover answered responses only
+    (OK and approximated) — refusals are instantaneous and would drag
+    every percentile toward zero; their story is told by the outcome
+    tallies and ``reasons`` instead.
     """
 
     dimension: str
     value: str
     count: int = 0
     ok: int = 0
+    approximated: int = 0
     rejected: int = 0
     shed: int = 0
     timed_out: int = 0
@@ -73,7 +95,7 @@ class SliceStats:
         setattr(self, record.outcome, getattr(self, record.outcome) + 1)
         if record.reason:
             self.reasons[record.reason] = self.reasons.get(record.reason, 0) + 1
-        if record.outcome == "ok":
+        if record.outcome in ("ok", "approximated"):
             self.matches += record.matches
             self._latencies_ms.append(record.latency_s * 1e3)
             self._service_ms.append(record.service_s * 1e3)
@@ -86,6 +108,11 @@ class SliceStats:
         self._queue_ms.sort()
 
     # -- derived numbers --------------------------------------------------
+
+    @property
+    def answered(self) -> int:
+        """Responses that carried an answer: exact or estimated."""
+        return self.ok + self.approximated
 
     @property
     def lost(self) -> int:
@@ -147,6 +174,7 @@ class SliceStats:
             "value": self.value,
             "count": self.count,
             "ok": self.ok,
+            "approximated": self.approximated,
             "rejected": self.rejected,
             "shed": self.shed,
             "timed_out": self.timed_out,
@@ -191,6 +219,7 @@ class WorkloadProfile:
         for stats in self._slices.get("tenant", {}).values():
             rollup.count += stats.count
             rollup.ok += stats.ok
+            rollup.approximated += stats.approximated
             rollup.rejected += stats.rejected
             rollup.shed += stats.shed
             rollup.timed_out += stats.timed_out
@@ -205,16 +234,16 @@ class WorkloadProfile:
 
     @property
     def goodput_qps(self) -> float:
-        """OK completions per simulated second across the window."""
+        """Answered completions per simulated second across the window."""
         if self.duration_s <= 0:
             return 0.0
-        return self.total.ok / self.duration_s
+        return self.total.answered / self.duration_s
 
     def slice_goodput_qps(self, stats: SliceStats) -> float:
-        """One slice's OK completions per simulated second."""
+        """One slice's answered completions per simulated second."""
         if self.duration_s <= 0:
             return 0.0
-        return stats.ok / self.duration_s
+        return stats.answered / self.duration_s
 
     def hot_templates(self, top: int = 8) -> list[dict]:
         """The templates that dominate the workload, hottest first."""
@@ -305,6 +334,7 @@ def mine(
             "template": record.template,
             "stage": record.stage or "(none)",
             "outcome": record.outcome,
+            "mode": record.mode,
         }
         for dimension, value in keys.items():
             bucket = profile._slices.setdefault(dimension, {})

@@ -16,6 +16,10 @@ The workflows a downstream user needs, without writing Python::
     python -m repro workload report --journal-a a.json --journal-b b.json
     python -m repro slo check --config slo.json --journal journal.json
     python -m repro slo watch --journal journal.json --bundle-out incidents/
+    python -m repro stream register --name errors --expression 'ERROR' \
+        --threshold 50 --out stream.json
+    python -m repro stream status --config stream.json --log my.log \
+        --out stream_status.json
     python -m repro compress --log my.log
 
 Every command prints a short human-readable report; ``query`` also
@@ -112,6 +116,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 0
     if args.workers > 1 and args.stop_after is not None:
         log.warning("--stop-after forces the serial scan path; ignoring --workers")
+    if args.sample_fraction is not None and args.stop_after is not None:
+        log.error("--sample-fraction cannot be combined with --stop-after")
+        return 2
     outcome = system.query(
         query,
         use_index=not args.no_index,
@@ -120,6 +127,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         newest_first=args.newest_first,
         workers=args.workers,
         analyze=args.analyze,
+        sample_fraction=args.sample_fraction,
+        sample_seed=args.sample_seed,
     )
     stats = outcome.stats
     log.info(
@@ -128,6 +137,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"{stats.elapsed_s * 1e3:.2f} ms simulated, "
         f"{outcome.effective_throughput(system.original_bytes) / 1e9:.1f} GB/s effective)"
     )
+    if outcome.estimates is not None:
+        estimate = outcome.estimates[0]
+        log.info(
+            f"  sampled scan: {stats.pages_sampled}/{stats.candidate_pages} "
+            f"candidate pages at fraction {estimate.fraction:g} — "
+            f"estimated {estimate.estimate:,.0f} matches "
+            f"({100 * estimate.confidence:.0f}% CI "
+            f"[{estimate.ci_low:,.0f}, {estimate.ci_high:,.0f}])"
+        )
     log.debug(
         "query breakdown",
         bottleneck=stats.bottleneck,
@@ -378,6 +396,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         duration_s=args.duration,
         seed=args.seed,
         deadline_s=args.deadline_ms / 1e3 if args.deadline_ms else None,
+        sample_fraction=args.sample_fraction,
     )
     service = factory()
     journal = None
@@ -399,7 +418,8 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     )
     log.info(
         f"  ok {counts['ok']:,}  rejected {counts['rejected']:,}  "
-        f"shed {counts['shed']:,}  timed out {counts['timed_out']:,}"
+        f"shed {counts['shed']:,}  timed out {counts['timed_out']:,}  "
+        f"approximated {counts['approximated']:,}"
     )
     log.info(
         f"  goodput {report.goodput_qps:,.0f} q/s, "
@@ -477,6 +497,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         workers=args.workers,
         journal=journal,
         monitor=monitor,
+        sample_fraction=args.sample_fraction,
     )
     if monitor is not None:
         _log_slo_summary(monitor, recorder)
@@ -487,12 +508,13 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             f"query journal ({len(journal.records):,} records{evicted}, "
             f"{len(multiples)} windows) written to {args.journal_out}"
         )
-    log.info("  load   offered     goodput   p50 ms   p99 ms   loss")
+    log.info("  load   offered     goodput   p50 ms   p99 ms   loss   approx")
     for point in points:
         log.info(
             f"  x{point.load_multiple:<5g}{point.offered_qps:>8,.0f}"
             f"{point.goodput_qps:>12,.0f}{point.p50_ms:>9.2f}"
             f"{point.p99_ms:>9.2f}{100 * point.shed_rate:>6.1f}%"
+            f"{point.approximated:>8,}"
         )
     if args.out is not None:
         Path(args.out).write_text(
@@ -542,7 +564,7 @@ def _cmd_workload_mine(args: argparse.Namespace) -> int:
             f"share={100 * entry['share']:4.1f}%  p99={entry['p99_ms']:.2f} ms  "
             f"{entry['query'][:48]}"
         )
-    for dimension in ("tenant", "stage"):
+    for dimension in ("tenant", "stage", "mode"):
         log.info(f"  by {dimension}:")
         for value, stats in sorted(profile.slices(dimension).items()):
             log.info(
@@ -705,6 +727,117 @@ def _cmd_slo_watch(args: argparse.Namespace) -> int:
     return 1 if fired else 0
 
 
+def _cmd_stream_register(args: argparse.Namespace) -> int:
+    from repro.stream import (
+        StandingQuery,
+        Threshold,
+        WindowSpec,
+        build_stream_config,
+        load_stream_config,
+    )
+
+    window = WindowSpec(kind=args.window, width_s=args.width_ms / 1e3)
+    threshold = None
+    if args.threshold is not None:
+        threshold = Threshold(
+            value=args.threshold,
+            aggregate=args.aggregate,
+            op=args.op,
+        )
+    standing = StandingQuery(
+        name=args.name,
+        query=parse_query(args.expression),
+        window=window,
+        threshold=threshold,
+    )
+    queries = []
+    interval = args.check_interval_ms / 1e3
+    out = Path(args.out)
+    if out.exists():
+        queries, interval = load_stream_config(out)
+        if any(q.name == args.name for q in queries):
+            log.error(f"{out}: a standing query named {args.name!r} exists")
+            return 1
+    queries.append(standing)
+    payload = build_stream_config(queries, check_interval_s=interval)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    alert = (
+        f", alert when {threshold.aggregate} {threshold.op} "
+        f"{threshold.value:g}"
+        if threshold is not None
+        else ""
+    )
+    log.info(
+        f"registered {args.name!r}: {args.expression!r} over a "
+        f"{window.kind} {window.width_s * 1e3:g} ms window{alert}"
+    )
+    log.info(f"stream config ({len(queries)} queries) written to {out}")
+    return 0
+
+
+def _cmd_stream_status(args: argparse.Namespace) -> int:
+    from repro.stream import (
+        StandingQueryRegistry,
+        load_stream_config,
+        validate_stream_status,
+    )
+    from repro.system.streaming import StreamingIngestor
+
+    queries, interval = load_stream_config(args.config)
+    lines = read_log_lines(args.log)
+    system = MithriLogSystem(seed=args.seed)
+    ingestor = StreamingIngestor(system, batch_lines=args.batch_lines)
+    registry = StandingQueryRegistry(system, interval_s=interval)
+    for standing in queries:
+        registry.register(standing)
+    registry.attach(ingestor)
+    recorder = None
+    if args.bundle_out is not None:
+        from repro.obs.recorder import FlightRecorder
+
+        recorder = FlightRecorder(
+            registry.monitor, system=system, out_dir=args.bundle_out
+        )
+    with ingestor:
+        for line in lines:
+            ingestor.append(line)
+    payload = registry.status_payload()
+    problems = validate_stream_status(payload)
+    if problems:
+        log.error(f"status snapshot invalid: {'; '.join(problems)}")
+        return 1
+    firing = []
+    for entry in payload["queries"]:
+        name = entry["definition"]["name"]
+        state = entry["alert_state"]
+        window_state = entry["window_state"]
+        values = registry.aggregator(name).values(system.clock.now)
+        log.info(
+            f"  {name}: {state}  "
+            f"count={values['count']:g} "
+            f"rate={values['rate']:g}/s "
+            f"distinct={values['distinct_templates']:g} "
+            f"({window_state['evaluations']} evaluations, "
+            f"{window_state['matches_total']:,} matches)"
+        )
+        if state == "firing":
+            firing.append(name)
+    if recorder is not None:
+        for path in recorder.written:
+            log.info(f"  incident artifact: {path}")
+    if args.out is not None:
+        Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.out).write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n"
+        )
+        log.info(f"stream status written to {args.out}")
+    if firing:
+        log.warning(f"{len(firing)} standing quer(ies) firing: {firing}")
+        return 1 if args.fail_on_alert else 0
+    return 0
+
+
 def _cmd_compress(args: argparse.Namespace) -> int:
     from repro.compression import (
         GzipCompressor,
@@ -793,6 +926,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="parallelise the scan over this many processes "
         "(results are identical at any worker count)",
+    )
+    p.add_argument(
+        "--sample-fraction", type=float, default=None,
+        help="approximate scan: read only this seeded fraction of "
+        "candidate pages (0 < f < 1) and report a match estimate with "
+        "a confidence interval",
+    )
+    p.add_argument(
+        "--sample-seed", type=int, default=0,
+        help="seed for --sample-fraction page selection (independent of "
+        "the global --seed, which must match the store's ingest seed)",
     )
     p.set_defaults(func=_cmd_query)
 
@@ -906,6 +1050,11 @@ def build_parser() -> argparse.ArgumentParser:
                        "incident bundle (JSON + markdown) each time an "
                        "alert fires; implies default SLOs when no "
                        "--slo-config is given")
+        p.add_argument("--sample-fraction", type=float, default=None,
+                       help="opt the generated traffic into the approximate "
+                       "admission class: under overload requests are "
+                       "degraded to a sampled scan at this page fraction "
+                       "(0 < f < 1) instead of being shed")
 
     p = sub.add_parser(
         "serve-sim",
@@ -1025,6 +1174,59 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--json", action="store_true", dest="as_json",
                    help="print the monitor summary JSON to stdout")
     s.set_defaults(func=_cmd_slo_watch)
+
+    p = sub.add_parser(
+        "stream",
+        help="register standing queries and evaluate them over a log "
+        "stream (windowed aggregates + threshold alerts)",
+    )
+    tsub = p.add_subparsers(dest="stream_command", required=True)
+
+    s = tsub.add_parser(
+        "register",
+        help="add a standing query to a stream config file",
+    )
+    s.add_argument("--name", required=True,
+                   help="unique standing-query name")
+    s.add_argument("--expression", required=True,
+                   help="query expression (same algebra as repro query)")
+    s.add_argument("--window", choices=("tumbling", "sliding"),
+                   default="tumbling", help="window kind")
+    s.add_argument("--width-ms", type=float, default=1000.0,
+                   help="window width in simulated milliseconds")
+    s.add_argument("--aggregate",
+                   choices=("count", "rate", "distinct_templates"),
+                   default="count",
+                   help="window aggregate the threshold tests")
+    s.add_argument("--threshold", type=float, default=None,
+                   help="alert when the aggregate crosses this value")
+    s.add_argument("--op", choices=(">=", "<="), default=">=",
+                   help="breach direction for --threshold")
+    s.add_argument("--check-interval-ms", type=float, default=5.0,
+                   help="monitor evaluation interval for a new config")
+    s.add_argument("--out", default="stream.json",
+                   help="stream config file (appended to when it exists)")
+    s.set_defaults(func=_cmd_stream_register)
+
+    s = tsub.add_parser(
+        "status",
+        help="stream a log through the registered standing queries and "
+        "report window values and alert states",
+    )
+    s.add_argument("--config", required=True,
+                   help="stream config JSON (kind mithrilog_stream_config)")
+    s.add_argument("--log", required=True, help="log file to stream")
+    s.add_argument("--seed", type=int, default=0,
+                   help="simulation seed")
+    s.add_argument("--batch-lines", type=int, default=512,
+                   help="ingest flush batch size (lines)")
+    s.add_argument("--out", default=None,
+                   help="write the status snapshot JSON here")
+    s.add_argument("--bundle-out", default=None,
+                   help="directory for incident bundles when alerts fire")
+    s.add_argument("--fail-on-alert", action="store_true",
+                   help="exit 1 when any standing query is firing")
+    s.set_defaults(func=_cmd_stream_status)
 
     return parser
 

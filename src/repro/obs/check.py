@@ -22,7 +22,13 @@ It exits non-zero when
   .validate_incident_bundle` (alert timestamps out of order, burn
   rates below threshold, journal evidence outside the window),
 - a ``.json`` SLO config fails :func:`repro.obs.slo
-  .validate_slo_config` (bad objectives, duplicate names).
+  .validate_slo_config` (bad objectives, duplicate names),
+- a ``.json`` stream config fails :func:`repro.stream.status
+  .validate_stream_config` (unparseable standing queries, duplicate
+  names),
+- a ``.json`` stream status snapshot fails :func:`repro.stream.status
+  .validate_stream_status` (unknown alert states, missing window
+  series, non-monotone series timestamps).
 
 Keeping the validator in the library (rather than a shell one-liner in
 the workflow) makes the failure mode testable.
@@ -49,6 +55,12 @@ from repro.obs.recorder import (
 from repro.obs.report import looks_like_ab_report, validate_ab_report
 from repro.obs.slo import looks_like_slo_config, validate_slo_config
 from repro.obs.tracing import TraceError, validate_chrome_trace
+from repro.stream.status import (
+    looks_like_stream_config,
+    looks_like_stream_status,
+    validate_stream_config,
+    validate_stream_status,
+)
 
 #: Family prefixes a complete Prometheus snapshot must mention.
 REQUIRED_FAMILY_PREFIXES = (
@@ -64,6 +76,8 @@ REQUIRED_FAMILY_PREFIXES = (
     "mithrilog_service_",
     "mithrilog_workload_",
     "mithrilog_slo_",
+    "mithrilog_ingest_",
+    "mithrilog_stream_",
 )
 
 LOG = get_logger("repro.obs.check")
@@ -142,11 +156,31 @@ def check_file(path: Path) -> Optional[str]:
                 slos=len(payload.get("slos", [])),
             )
             return None
+        if looks_like_stream_config(payload):
+            problems = validate_stream_config(payload)
+            if problems:
+                return f"{path}: {'; '.join(problems)}"
+            LOG.debug(
+                "stream config ok",
+                path=str(path),
+                queries=len(payload.get("queries", [])),
+            )
+            return None
+        if looks_like_stream_status(payload):
+            problems = validate_stream_status(payload)
+            if problems:
+                return f"{path}: {'; '.join(problems)}"
+            LOG.debug(
+                "stream status ok",
+                path=str(path),
+                queries=len(payload.get("queries", [])),
+            )
+            return None
         if "metrics" not in payload:
             return (
                 f"{path}: not a Chrome trace, metrics snapshot, explain "
                 "report, query journal, A/B report, incident bundle, "
-                "or SLO config"
+                "SLO config, stream config, or stream status"
             )
         return None
     return f"{path}: unknown artifact type (expected .prom or .json)"

@@ -299,3 +299,43 @@ def bootstrap_families(registry: Optional[MetricsRegistry] = None) -> None:
         "mithrilog_slo_incidents_recorded_total",
         "Incident bundles captured by the flight recorder",
     )
+    registry.gauge(
+        "mithrilog_ingest_pending_lines",
+        "Lines buffered in the arrival tail, not yet persisted",
+    )
+    registry.counter(
+        "mithrilog_ingest_overflow_shed_total",
+        "Arriving lines dropped by the bounded-buffer shed policy",
+    )
+    registry.gauge(
+        "mithrilog_service_degraded_to_sample",
+        "Requests degraded to the sampled admission class "
+        "instead of being shed",
+    )
+    registry.counter(
+        "mithrilog_stream_evaluations_total",
+        "Standing-query incremental evaluations",
+        labelnames=("query",),
+    )
+    registry.counter(
+        "mithrilog_stream_matches_total",
+        "Lines matched by standing queries over newly sealed pages",
+        labelnames=("query",),
+    )
+    registry.gauge(
+        "mithrilog_stream_window_value",
+        "Latest windowed aggregate value per standing query",
+        labelnames=("query", "aggregate"),
+    )
+    registry.gauge(
+        "mithrilog_stream_standing_queries",
+        "Standing queries currently registered",
+    )
+    registry.counter(
+        "mithrilog_stream_sampled_scans_total",
+        "Approximate scans served from a sampled page subset",
+    )
+    registry.counter(
+        "mithrilog_stream_sampled_pages_skipped_total",
+        "Candidate pages the sampler let approximate scans skip",
+    )

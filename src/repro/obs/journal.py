@@ -13,8 +13,10 @@ One :class:`JournalRecord` per resolved request, carrying
 - **what** — a stable template *fingerprint* (queries generated from the
   same FT-tree template share one), with the fingerprint → query-text
   map kept once in the journal header instead of per record;
-- **outcome** — the service's four-valued verdict plus the machine-
-  readable refusal reason;
+- **outcome** — the service's five-valued verdict plus the machine-
+  readable refusal reason, and the execution *mode* (``exact``,
+  ``sampled`` for approximate scans, ``standing`` for incremental
+  standing-query evaluations);
 - **cost** — queue, service and end-to-end latency on the simulated
   clock, matched lines, batch size, and the *bottleneck stage* of the
   accelerator pass the request rode (pulled from the existing
@@ -26,8 +28,9 @@ One :class:`JournalRecord` per resolved request, carrying
 The journal also counts *intake* independently of outcomes
 (:meth:`QueryJournal.note_submitted`), so the exported artifact carries
 the same conservation cross-check the service report does:
-``ok + rejected + shed + timed_out == submitted`` per tenant, verified
-by :func:`validate_journal_payload` and CI's ``repro.obs.check``.
+``ok + rejected + shed + timed_out + approximated == submitted`` per
+tenant, verified by :func:`validate_journal_payload` and CI's
+``repro.obs.check``.
 """
 
 from __future__ import annotations
@@ -46,6 +49,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "JOURNAL_KIND",
     "JOURNAL_VERSION",
+    "MODES",
+    "OUTCOMES",
     "JournalError",
     "JournalRecord",
     "QueryJournal",
@@ -59,9 +64,14 @@ __all__ = [
 JOURNAL_KIND = "mithrilog_query_journal"
 JOURNAL_VERSION = 1
 
-#: The four outcomes a record may carry (mirrors ``repro.service.request
+#: The five outcomes a record may carry (mirrors ``repro.service.request
 #: .Outcome`` without importing the service layer at module load).
-OUTCOMES = ("ok", "rejected", "shed", "timed_out")
+OUTCOMES = ("ok", "rejected", "shed", "timed_out", "approximated")
+
+#: Execution modes a record may carry: a full scan, a seeded sampled
+#: scan (the approximate admission class), or an incremental
+#: standing-query evaluation over newly sealed pages.
+MODES = ("exact", "sampled", "standing")
 
 #: Bottleneck stages :attr:`QueryStats.bottleneck` can name, plus ""
 #: for requests that never reached an accelerator pass.
@@ -91,7 +101,7 @@ class JournalRecord:
     window: str  #: workload phase label ("" outside any window)
     tenant: str
     template: str  #: :func:`template_fingerprint` of the query text
-    outcome: str  #: "ok" | "rejected" | "shed" | "timed_out"
+    outcome: str  #: "ok" | "rejected" | "shed" | "timed_out" | "approximated"
     reason: str  #: refusal cause ("" for OK)
     priority: int
     arrival_s: float  #: request's arrival offset within its run
@@ -104,6 +114,8 @@ class JournalRecord:
     stage: str  #: bottleneck stage of the pass ("" when no pass ran)
     deadline_s: Optional[float] = None  #: the request's deadline knob
     degraded: bool = False  #: answered with at least one shard down
+    mode: str = "exact"  #: "exact" | "sampled" | "standing"
+    sample_fraction: Optional[float] = None  #: page fraction when sampled
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -125,10 +137,12 @@ class _TenantTally:
     rejected: int = 0
     shed: int = 0
     timed_out: int = 0
+    approximated: int = 0
 
     def conserved(self) -> bool:
         return (
             self.ok + self.rejected + self.shed + self.timed_out
+            + self.approximated
             == self.submitted
         )
 
@@ -244,6 +258,11 @@ class QueryJournal:
             stage=response.bottleneck,
             deadline_s=request.deadline_s,
             degraded=response.degraded,
+            mode="sampled" if response.outcome.value == "approximated"
+            else "exact",
+            # the opt-in is recorded even when the request settled
+            # exactly, so replay re-offers the same eligibility
+            sample_fraction=request.sample_fraction,
         )
         self.append(record)
         return record
@@ -258,13 +277,19 @@ class QueryJournal:
         completed_at_s: float,
         batch_size: int = 1,
         tenant: str = "_direct",
+        mode: str = "exact",
+        sample_fraction: Optional[float] = None,
     ) -> JournalRecord:
         """Append a record for a query that bypassed the service layer.
 
         Direct :meth:`MithriLogSystem.query` calls have no admission
         story — they always execute — so the record is OK by
         construction, with the whole latency attributed to service time.
+        ``mode`` distinguishes exact scans from seeded sampled scans
+        and incremental standing-query evaluations.
         """
+        if mode not in MODES:
+            raise JournalError(f"unknown execution mode {mode!r}")
         self.note_submitted(tenant)
         fingerprint = self.register_template(query_text)
         record = JournalRecord(
@@ -283,6 +308,8 @@ class QueryJournal:
             matches=matches,
             batch_size=batch_size,
             stage=stage,
+            mode=mode,
+            sample_fraction=sample_fraction,
         )
         self.append(record)
         return record
@@ -317,6 +344,7 @@ class QueryJournal:
                 "rejected": tally.rejected,
                 "shed": tally.shed,
                 "timed_out": tally.timed_out,
+                "approximated": tally.approximated,
             }
             for tenant, tally in sorted(self._tallies.items())
         }
@@ -367,6 +395,7 @@ class QueryJournal:
                 rejected=tally["rejected"],
                 shed=tally["shed"],
                 timed_out=tally["timed_out"],
+                approximated=tally.get("approximated", 0),
             )
         return journal
 
@@ -439,8 +468,28 @@ def validate_journal_payload(payload: object) -> list[str]:
             problems.append(
                 f"record {i}: unknown bottleneck stage {entry.get('stage')!r}"
             )
-        if outcome == "ok" and entry.get("stage") == "":
-            problems.append(f"record {i}: OK record without a bottleneck stage")
+        if outcome in ("ok", "approximated") and entry.get("stage") == "":
+            problems.append(
+                f"record {i}: answered record without a bottleneck stage"
+            )
+        mode = entry.get("mode", "exact")
+        if mode not in MODES:
+            problems.append(f"record {i}: unknown execution mode {mode!r}")
+        elif outcome == "approximated" and mode != "sampled":
+            problems.append(
+                f"record {i}: approximated outcome with mode {mode!r} "
+                "(must be sampled)"
+            )
+        if mode == "sampled":
+            fraction = entry.get("sample_fraction")
+            if (
+                not isinstance(fraction, (int, float))
+                or not 0.0 < fraction < 1.0
+            ):
+                problems.append(
+                    f"record {i}: sampled record needs sample_fraction "
+                    "in (0, 1)"
+                )
         for fieldname in _NUMERIC_FIELDS:
             value = entry.get(fieldname)
             if not isinstance(value, (int, float)) or value < 0:
@@ -473,7 +522,11 @@ def validate_journal_payload(payload: object) -> list[str]:
     for tenant, declared in tenants.items():
         counted = recount.get(tenant, _TenantTally())
         for outcome in OUTCOMES:
-            declared_n = declared.get(outcome)
+            # older journals predate the approximated outcome; absent
+            # means zero for it, never for the original four
+            declared_n = declared.get(
+                outcome, 0 if outcome == "approximated" else None
+            )
             counted_n = getattr(counted, outcome)
             if not isinstance(declared_n, int):
                 problems.append(
@@ -544,6 +597,7 @@ def replay_requests(
                 priority=record.priority,
                 deadline_s=record.deadline_s,
                 arrival_s=record.arrival_s,
+                sample_fraction=record.sample_fraction,
             )
         )
     requests.sort(key=lambda r: r.arrival_s)

@@ -132,13 +132,16 @@ class SLO:
         if self.tenant != "*" and tenant != self.tenant:
             return None
         if self.objective == "availability":
+            if outcome == "approximated":
+                # an estimated answer: degraded service, not lost work
+                return not self.count_degraded
             if outcome != "ok":
                 return False
             if self.count_degraded and degraded:
                 return False
             return True
-        # latency objective: only OK responses are in scope
-        if outcome != "ok":
+        # latency objective: only answered responses are in scope
+        if outcome not in ("ok", "approximated"):
             return None
         assert self.latency_threshold_s is not None
         return latency_s <= self.latency_threshold_s
@@ -313,6 +316,18 @@ class SLOMonitor:
             self._m_burn = None
             self._m_budget = None
             self._m_firing = None
+
+    def add_slo(self, slo: SLO) -> None:
+        """Register another objective on a live monitor.
+
+        Standing queries (:mod:`repro.stream.standing`) attach their
+        threshold SLOs at registration time, after the monitor exists.
+        The new objective starts with empty windows at state OK.
+        """
+        if any(existing.name == slo.name for existing in self.slos):
+            raise SLOError(f"duplicate SLO {slo.name!r}")
+        self.slos.append(slo)
+        self._runtimes.append(_SLORuntime(slo))
 
     # -- event intake ------------------------------------------------------
 

@@ -6,7 +6,8 @@ query the same log store at once. This package is the service layer
 that makes sharing safe and fast:
 
 - :mod:`repro.service.request` — the vocabulary: :class:`Request`,
-  :class:`Response`, the four-valued :class:`Outcome`, per-tenant
+  :class:`Response`, the five-valued :class:`Outcome` (including
+  ``APPROXIMATED`` sampled-scan answers), per-tenant
   :class:`TenantConfig` knobs and :class:`TenantStats` accounting;
 - :mod:`repro.service.admission` — bounded per-tenant queues, token-
   bucket rate limits, absolute quotas, and priority-aware overload

@@ -18,6 +18,14 @@ Order of checks at the door (cheapest veto first):
    line: the lowest-priority request in the building (the newcomer or a
    queued victim) is shed so higher-priority latency stays bounded.
 
+Requests that opted into the approximate admission class (a
+``sample_fraction``) get one reprieve on the shedding path: instead of
+being dropped they are *degraded* — marked to run as a sampled scan
+that costs a fraction of an accelerator pass and answers with an
+estimate (outcome ``APPROXIMATED``). A degraded request that comes up
+for shedding a second time is genuinely shed, so the backlog bound
+still bites.
+
 All state lives on plain objects keyed by simulated time passed in from
 the service loop — nothing here reads a wall clock.
 """
@@ -74,12 +82,21 @@ class QueuedRequest:
     request: Request
     arrival_s: float  #: rebased absolute simulated arrival
     seq: int  #: global admission order, the deterministic tie-break
+    #: overload degraded this request to the approximate class: it will
+    #: ride a sampled pass and settle as APPROXIMATED, not OK
+    approx: bool = False
 
     @property
     def deadline_at_s(self) -> Optional[float]:
         if self.request.deadline_s is None:
             return None
         return self.arrival_s + self.request.deadline_s
+
+    @property
+    def sample_key(self) -> tuple[bool, Optional[float]]:
+        """Pass-compatibility key: sampled and exact work never share an
+        accelerator pass, and sampled riders must agree on the fraction."""
+        return (self.approx, self.request.sample_fraction if self.approx else None)
 
 
 @dataclass
@@ -111,6 +128,7 @@ class AdmissionController:
         tenants: list[TenantConfig],
         max_backlog: Optional[int] = None,
         hints: Optional["TemplateHintProvider"] = None,
+        approx_on_overload: bool = True,
     ) -> None:
         if not tenants:
             raise QueryError("admission control needs at least one tenant")
@@ -119,6 +137,11 @@ class AdmissionController:
         #: template-aware priority hints, consulted only on the overload
         #: (shedding) path — normal admission never reads them
         self.hints = hints
+        #: honour the approximate admission class on the shedding path
+        #: (the service turns this off when its backend cannot sample)
+        self.approx_on_overload = approx_on_overload
+        #: sheds converted into sampled answers (metrics/report feed)
+        self.degraded_to_sample = 0
         self.tenants: dict[str, TenantState] = {}
         for config in tenants:
             if config.name in self.tenants:
@@ -187,6 +210,20 @@ class AdmissionController:
             if victim is None or self._priority(
                 victim.request
             ) >= self._priority(request):
+                # the newcomer is the lowest-priority request in the
+                # building: degrade it if it opted in, else shed it
+                if self._can_degrade(request):
+                    self.degraded_to_sample += 1
+                    self._seq += 1
+                    state.queue.append(
+                        QueuedRequest(
+                            request=request,
+                            arrival_s=arrival_s,
+                            seq=self._seq,
+                            approx=True,
+                        )
+                    )
+                    return None, []
                 self._note_hinted_shed(request)
                 return (
                     Response(
@@ -197,17 +234,23 @@ class AdmissionController:
                     ),
                     [],
                 )
-            self._evict(victim)
-            self._note_hinted_shed(victim.request)
-            shed.append(
-                Response(
-                    request=victim.request,
-                    outcome=Outcome.SHED,
-                    reason="overload",
-                    queue_time_s=now - victim.arrival_s,
-                    completed_at_s=now,
+            if self._can_degrade(victim.request) and not victim.approx:
+                # one reprieve: the victim stays queued but will ride a
+                # sampled pass; picked again, it is genuinely shed
+                victim.approx = True
+                self.degraded_to_sample += 1
+            else:
+                self._evict(victim)
+                self._note_hinted_shed(victim.request)
+                shed.append(
+                    Response(
+                        request=victim.request,
+                        outcome=Outcome.SHED,
+                        reason="overload",
+                        queue_time_s=now - victim.arrival_s,
+                        completed_at_s=now,
+                    )
                 )
-            )
         self._seq += 1
         state.queue.append(
             QueuedRequest(request=request, arrival_s=arrival_s, seq=self._seq)
@@ -257,6 +300,10 @@ class AdmissionController:
             reason=reason,
             completed_at_s=now,
         )
+
+    def _can_degrade(self, request: Request) -> bool:
+        """May this request leave with an estimate instead of a shed?"""
+        return self.approx_on_overload and request.sample_fraction is not None
 
     def _priority(self, request: Request) -> int:
         """The priority the overload path compares: hinted when active."""

@@ -48,6 +48,18 @@ class Batch:
     def tenants(self) -> list[str]:
         return [m.request.tenant for m in self.members]
 
+    @property
+    def approx(self) -> bool:
+        """Is this a sampled pass? (All riders agree — see quarantine.)"""
+        return bool(self.members) and self.members[0].approx
+
+    @property
+    def sample_fraction(self) -> Optional[float]:
+        """The sampled pass's page fraction (None for exact passes)."""
+        if not self.approx:
+            return None
+        return self.members[0].request.sample_fraction
+
     def __len__(self) -> int:
         return len(self.members)
 
@@ -115,6 +127,12 @@ class QoSScheduler:
                 break
             head = admission.head(tenant)
             assert head is not None  # _next_tenant only returns non-empty
+            if len(batch) > 0 and head.sample_key != batch.members[0].sample_key:
+                # mode quarantine: sampled and exact scans read different
+                # page sets, and sampled riders must share one fraction —
+                # a mixed pass would be unexecutable as a single scan
+                skip.add(tenant)
+                continue
             if (
                 len(batch) > 0
                 and self.hints is not None

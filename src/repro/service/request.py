@@ -8,7 +8,15 @@ Every submitted request receives exactly one :class:`Response` whose
 :class:`Outcome` is explicit: the service never blocks a caller forever
 and never drops work silently. That one-response-per-request contract is
 what the conservation property test pins:
-``ok + rejected + shed + timed_out == submitted`` for every tenant.
+``ok + rejected + shed + timed_out + approximated == submitted`` for
+every tenant.
+
+Requests may opt into the *approximate* admission class by setting
+``sample_fraction``: under overload, instead of shedding such a request
+outright the service degrades it to a sampled scan over a seeded
+fraction of candidate pages and answers with an estimate plus a
+confidence interval (outcome ``APPROXIMATED``) — a cheap answer instead
+of no answer. See ``docs/STREAMING.md``.
 """
 
 from __future__ import annotations
@@ -22,7 +30,7 @@ from repro.errors import QueryError
 
 
 class Outcome(enum.Enum):
-    """The four ways a request leaves the service — always exactly one.
+    """The five ways a request leaves the service — always exactly one.
 
     - ``OK`` — executed; the response carries matches and latency.
     - ``REJECTED`` — refused before queuing (queue full, rate limit,
@@ -31,12 +39,16 @@ class Outcome(enum.Enum):
       victim evicted so higher-priority work keeps its latency bound.
     - ``TIMED_OUT`` — its deadline passed while it waited; cancelled
       before wasting an accelerator pass on a stale answer.
+    - ``APPROXIMATED`` — answered with a sampled-scan estimate instead
+      of an exact count: the request opted in via ``sample_fraction``
+      and overload degraded it rather than shedding it.
     """
 
     OK = "ok"
     REJECTED = "rejected"
     SHED = "shed"
     TIMED_OUT = "timed_out"
+    APPROXIMATED = "approximated"
 
 
 @dataclass(frozen=True)
@@ -56,6 +68,10 @@ class Request:
     priority: int = 0  #: higher is more important; sheds last
     deadline_s: Optional[float] = None  #: seconds after arrival; None = patient
     arrival_s: float = 0.0  #: simulated arrival offset within the run
+    #: opt-in to the approximate admission class: when overload would
+    #: shed this request, degrade it to a sampled scan over this seeded
+    #: fraction of candidate pages instead (None = exact answers only)
+    sample_fraction: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.tenant:
@@ -64,6 +80,10 @@ class Request:
             raise QueryError("deadline_s must be positive when given")
         if self.arrival_s < 0:
             raise QueryError("arrival_s cannot be negative")
+        if self.sample_fraction is not None and not (
+            0.0 < self.sample_fraction < 1.0
+        ):
+            raise QueryError("sample_fraction must be in (0, 1) when given")
 
 
 def coerce_query(query: Union[Query, str, bytes]) -> Query:
@@ -94,10 +114,19 @@ class Response:
     #: (``flash``/``decompress``/``filter``/``host``; "" when no pass
     #: ran) — what the query journal's per-stage slicing keys on
     bottleneck: str = ""
+    #: APPROXIMATED only: the sampled-scan estimate the answer carries
+    #: (``matches`` then holds the *raw* sampled match count). A
+    #: :class:`repro.stream.sampling.SampleEstimate`.
+    estimate: Optional[object] = None
 
     @property
     def ok(self) -> bool:
         return self.outcome is Outcome.OK
+
+    @property
+    def answered(self) -> bool:
+        """The caller got an answer: exact (OK) or estimated."""
+        return self.outcome in (Outcome.OK, Outcome.APPROXIMATED)
 
     @property
     def latency_s(self) -> float:
@@ -155,11 +184,12 @@ class TenantStats:
     rejected: int = 0
     shed: int = 0
     timed_out: int = 0
-    latencies_s: list[float] = field(default_factory=list)  #: OK only
+    approximated: int = 0  #: answered with a sampled-scan estimate
+    latencies_s: list[float] = field(default_factory=list)  #: answered only
 
     def note_submitted(self) -> None:
         """Counted at intake, *before* any outcome — so :meth:`conserved`
-        genuinely cross-checks intake against the four outcome tallies
+        genuinely cross-checks intake against the five outcome tallies
         instead of trivially restating them."""
         self.submitted += 1
 
@@ -173,15 +203,27 @@ class TenantStats:
             self.shed += 1
         elif response.outcome is Outcome.TIMED_OUT:
             self.timed_out += 1
+        elif response.outcome is Outcome.APPROXIMATED:
+            self.approximated += 1
+            self.latencies_s.append(response.latency_s)
 
     @property
     def accepted(self) -> int:
         """Alias the conservation property reads: OK completions."""
         return self.completed
 
+    @property
+    def answered(self) -> int:
+        """Responses that carried an answer: exact or estimated."""
+        return self.completed + self.approximated
+
     def conserved(self) -> bool:
         """Every submitted request got exactly one outcome."""
         return (
-            self.completed + self.rejected + self.shed + self.timed_out
+            self.completed
+            + self.rejected
+            + self.shed
+            + self.timed_out
+            + self.approximated
             == self.submitted
         )

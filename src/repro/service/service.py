@@ -75,7 +75,7 @@ class ServiceReport:
     tenants: dict[str, TenantStats]
     duration_s: float  #: simulated time the run spanned
     passes: int  #: accelerator passes executed
-    queries_served: int  #: OK responses across tenants
+    queries_served: int  #: answered responses (OK + approximated)
 
     @property
     def submitted(self) -> int:
@@ -83,24 +83,33 @@ class ServiceReport:
 
     @property
     def ok_latencies_s(self) -> list[float]:
-        return [r.latency_s for r in self.responses if r.ok]
+        return [r.latency_s for r in self.responses if r.answered]
 
     def latency_percentile_s(self, q: float) -> float:
         return percentile(self.ok_latencies_s, q)
 
     @property
+    def approximated(self) -> int:
+        """Responses answered with a sampled-scan estimate."""
+        return sum(1 for r in self.responses if r.outcome is Outcome.APPROXIMATED)
+
+    @property
     def goodput_qps(self) -> float:
-        """OK completions per simulated second."""
+        """Answered completions (exact or estimated) per simulated second."""
         if self.duration_s <= 0:
             return 0.0
         return self.queries_served / self.duration_s
 
     @property
     def shed_rate(self) -> float:
-        """Fraction of submitted work refused, shed, or timed out."""
+        """Fraction of submitted work refused, shed, or timed out.
+
+        Approximated responses are *answers* (degraded, not lost), so
+        they do not count toward this rate.
+        """
         if not self.responses:
             return 0.0
-        lost = sum(1 for r in self.responses if not r.ok)
+        lost = sum(1 for r in self.responses if not r.answered)
         return lost / len(self.responses)
 
     def outcome_counts(self) -> dict[str, int]:
@@ -110,7 +119,7 @@ class ServiceReport:
         return counts
 
     def conserved(self) -> bool:
-        """Intake equals the four outcome tallies, for every tenant."""
+        """Intake equals the five outcome tallies, for every tenant."""
         return all(stats.conserved() for stats in self.tenants.values())
 
 
@@ -129,6 +138,7 @@ class QueryService:
         journal: Optional["QueryJournal"] = None,
         hints: Optional["TemplateHintProvider"] = None,
         monitor: Optional["SLOMonitor"] = None,
+        approx_on_overload: Optional[bool] = None,
     ) -> None:
         self.backend = backend
         self.is_cluster = isinstance(backend, MithriLogCluster)
@@ -139,8 +149,18 @@ class QueryService:
         self.clock: SimClock = (
             SimClock() if self.is_cluster else reference.clock
         )
+        #: Sampled (approximate) passes need the backend's sampled scan
+        #: path; cluster backends fan out per shard and do not offer it,
+        #: so overload there falls back to shedding as before.
+        if approx_on_overload is None:
+            approx_on_overload = not self.is_cluster
+        if approx_on_overload and self.is_cluster:
+            raise QueryError(
+                "approx_on_overload requires a single-system backend"
+            )
         self.admission = AdmissionController(
-            list(tenants), max_backlog=max_backlog, hints=hints
+            list(tenants), max_backlog=max_backlog, hints=hints,
+            approx_on_overload=approx_on_overload,
         )
         self.scheduler = QoSScheduler(
             reference.params.cuckoo,
@@ -148,6 +168,9 @@ class QueryService:
             max_batch=max_batch,
             hints=hints,
         )
+        #: the seed sampled passes key page selection on — the engine
+        #: seed, so selection is fixed per deployment, not per pass
+        self._sample_seed = reference.engine.seed
         self.use_index = use_index
         self.fault_injector = fault_injector
         self.tracer = tracer
@@ -188,6 +211,11 @@ class QueryService:
                 "Queries packed per accelerator pass",
                 buckets=BATCH_BUCKETS,
             )
+            self._m_degraded_to_sample = registry.gauge(
+                "mithrilog_service_degraded_to_sample",
+                "Requests degraded to the sampled admission class "
+                "instead of being shed",
+            )
         else:
             self._m_requests = None
             self._m_queue_depth = None
@@ -195,6 +223,7 @@ class QueryService:
             self._m_latency = None
             self._m_passes = None
             self._m_batch = None
+            self._m_degraded_to_sample = None
 
     # ------------------------------------------------------------------
     # The event loop
@@ -244,7 +273,7 @@ class QueryService:
                 self._m_requests.inc(
                     tenant=tenant, outcome=response.outcome.value
                 )
-                if response.ok:
+                if response.answered:
                     self._m_latency.observe(response.latency_s, tenant=tenant)
             if source is not None:
                 for follow_up in source.on_complete(response, self.clock.now - t0):
@@ -295,7 +324,7 @@ class QueryService:
             tenants=stats,
             duration_s=self.clock.now - t0,
             passes=self.passes,
-            queries_served=sum(s.completed for s in stats.values()),
+            queries_served=sum(s.answered for s in stats.values()),
         )
 
     # ------------------------------------------------------------------
@@ -313,6 +342,7 @@ class QueryService:
             priority=request.priority,
             deadline_s=request.deadline_s,
             arrival_s=request.arrival_s,
+            sample_fraction=request.sample_fraction,
         )
 
     def _admit(
@@ -338,6 +368,7 @@ class QueryService:
         queries = batch.queries
         degraded = False
         bottleneck = ""
+        estimates = None
         try:
             if self.is_cluster:
                 outcome = self.backend.query(
@@ -354,6 +385,18 @@ class QueryService:
                     )
                     bottleneck = slowest.stats.bottleneck
                 self.clock.advance(elapsed)
+            elif batch.approx:
+                # a degraded batch: one sampled pass over a seeded
+                # fraction of the candidate pages, answers as estimates
+                result = self.backend.query(
+                    *queries, use_index=self.use_index, workers=workers,
+                    sample_fraction=batch.sample_fraction,
+                    sample_seed=self._sample_seed,
+                )
+                counts = result.per_query_counts
+                elapsed = result.stats.elapsed_s  # clock already advanced
+                bottleneck = result.stats.bottleneck
+                estimates = result.estimates
             else:
                 result = self.backend.query(
                     *queries, use_index=self.use_index, workers=workers
@@ -399,7 +442,7 @@ class QueryService:
         return [
             Response(
                 request=member.request,
-                outcome=Outcome.OK,
+                outcome=Outcome.APPROXIMATED if batch.approx else Outcome.OK,
                 queue_time_s=start - member.arrival_s,
                 service_time_s=elapsed,
                 completed_at_s=self.clock.now,
@@ -407,6 +450,7 @@ class QueryService:
                 batch_size=len(batch),
                 degraded=degraded,
                 bottleneck=bottleneck,
+                estimate=estimates[i] if estimates is not None else None,
             )
             for i, member in enumerate(batch.members)
         ]
@@ -417,3 +461,4 @@ class QueryService:
         for name, state in self.admission.tenants.items():
             self._m_queue_depth.set(state.backlog, tenant=name)
         self._m_backlog.set(self.admission.total_backlog)
+        self._m_degraded_to_sample.set(self.admission.degraded_to_sample)

@@ -130,12 +130,16 @@ def open_loop_requests(
     skew: float = 1.2,
     deadline_s: Optional[float] = None,
     priorities: Sequence[int] = (0, 0, 1, 2),
+    sample_fraction: Optional[float] = None,
 ) -> list[Request]:
     """Poisson arrivals at ``offered_qps`` for ``duration_s`` seconds.
 
     Tenant choice is Zipf-share weighted (same ``skew`` convention as
     :func:`make_tenants`); priorities are drawn uniformly from
     ``priorities`` (the default skews low — most traffic is sheddable).
+    ``sample_fraction`` opts every request into the approximate
+    admission class: under overload the service degrades them to a
+    sampled scan at that page fraction instead of shedding them.
     Deterministic in ``seed``.
     """
     if offered_qps <= 0:
@@ -159,6 +163,7 @@ def open_loop_requests(
                 priority=rng.choice(list(priorities)),
                 deadline_s=deadline_s,
                 arrival_s=t,
+                sample_fraction=sample_fraction,
             )
         )
     return requests
@@ -183,6 +188,7 @@ class ClosedLoopSource:
         max_requests: int = 200,
         seed: int = 0,
         deadline_s: Optional[float] = None,
+        sample_fraction: Optional[float] = None,
     ) -> None:
         if clients <= 0:
             raise QueryError("clients must be positive")
@@ -196,6 +202,7 @@ class ClosedLoopSource:
         self.think_time_s = think_time_s
         self.max_requests = max_requests
         self.deadline_s = deadline_s
+        self.sample_fraction = sample_fraction
         self._rng = random.Random(seed)
         self.issued = 0
 
@@ -207,6 +214,7 @@ class ClosedLoopSource:
             priority=self._rng.choice((0, 1, 2)),
             deadline_s=self.deadline_s,
             arrival_s=arrival_s,
+            sample_fraction=self.sample_fraction,
         )
 
     def initial_requests(self) -> list[Request]:
@@ -249,6 +257,7 @@ class SweepPoint:
     shed_rate: float
     passes: int
     submitted: int
+    approximated: int = 0  #: responses answered as sampled estimates
 
     def record(self) -> dict:
         """A trajectory-file record (``repro watch-perf`` compatible)."""
@@ -263,6 +272,7 @@ class SweepPoint:
             "shed_rate": round(self.shed_rate, 4),
             "passes": self.passes,
             "submitted": self.submitted,
+            "approximated": self.approximated,
         }
 
 
@@ -307,6 +317,7 @@ def run_sweep(
     workers: int = 1,
     journal: Optional[object] = None,
     monitor: Optional[object] = None,
+    sample_fraction: Optional[float] = None,
 ) -> list[SweepPoint]:
     """Offered-load sweep: one fresh service per level, open-loop traffic.
 
@@ -322,6 +333,11 @@ def run_sweep(
     mined and diffed independently afterwards. Pass an
     :class:`repro.obs.slo.SLOMonitor` as ``monitor`` to evaluate SLO
     burn rates live across every level of the sweep.
+
+    ``sample_fraction`` opts the generated traffic into the approximate
+    admission class (see :func:`open_loop_requests`); past saturation
+    the service then answers with sampled estimates instead of
+    shedding, which the per-point ``approximated`` tally records.
     """
     points: list[SweepPoint] = []
     time_base = 0.0
@@ -334,6 +350,7 @@ def run_sweep(
             duration_s=duration_s,
             seed=seed,
             deadline_s=deadline_s,
+            sample_fraction=sample_fraction,
         )
         service = service_factory()
         if journal is not None:
@@ -360,6 +377,7 @@ def run_sweep(
                 shed_rate=report.shed_rate,
                 passes=report.passes,
                 submitted=report.submitted,
+                approximated=report.approximated,
             )
         )
     return points

@@ -29,6 +29,7 @@ from repro.exec.executor import ScanExecutor, ScanProgramSpec
 from repro.hw.perf import PipelineCycleModel, measure_tokenized_stats
 from repro.index.inverted import InvertedIndex
 from repro.obs.explain import ExplainReport, build_explain
+from repro.obs.journal import template_fingerprint
 from repro.obs.metrics import get_registry
 from repro.obs.profile import (
     ProfileBuilder,
@@ -41,6 +42,7 @@ from repro.params import PROTOTYPE, SystemParams
 from repro.sim.clock import SimClock
 from repro.storage.device import DeviceReadResult, MithriLogDevice, ReadMode
 from repro.storage.page import Page
+from repro.stream.sampling import SampleEstimate, estimate_matches, sample_pages
 from repro.core.tokenizer import split_tokens
 
 #: Lines sampled for the ingest-time pipeline capability measurement.
@@ -145,6 +147,10 @@ class QueryStats:
     cache_hits: int = 0  #: decompressed-page cache hits during this query
     cache_misses: int = 0
     partitions: int = 1  #: scan partitions executed (1 on the serial path)
+    #: approximate scans only: the configured Bernoulli page-sampling
+    #: rate and how many candidate pages survived the draw
+    sample_fraction: Optional[float] = None
+    pages_sampled: int = 0
     #: deterministic per-stage ``{"calls", "units"}`` counts, synthesized
     #: from the page/byte accounting — identical at any worker count.
     profile: dict[str, dict[str, int]] = field(default_factory=dict)
@@ -200,6 +206,9 @@ class QueryOutcome:
     #: EXPLAIN ANALYZE report, attached when the query ran with
     #: ``analyze=True``.
     explain: Optional[ExplainReport] = None
+    #: sampled scans only: one estimate per query scaling its sampled
+    #: match count back to the full candidate set.
+    estimates: Optional[list[SampleEstimate]] = None
 
     def effective_throughput(self, original_bytes: int) -> float:
         """The paper's metric: original dataset size / elapsed time."""
@@ -326,6 +335,14 @@ class MithriLogSystem:
                 "Per-resource busy fraction of the latest query's scan window",
                 labelnames=("resource",),
             )
+            self._m_sampled_scans = registry.counter(
+                "mithrilog_stream_sampled_scans_total",
+                "Approximate scans served from a sampled page subset",
+            )
+            self._m_sampled_pages_skipped = registry.counter(
+                "mithrilog_stream_sampled_pages_skipped_total",
+                "Candidate pages the sampler let approximate scans skip",
+            )
         else:
             self._m_queries = None
             self._m_query_seconds = None
@@ -336,6 +353,8 @@ class MithriLogSystem:
             self._m_batch_queries = None
             self._m_explain = None
             self._m_util = None
+            self._m_sampled_scans = None
+            self._m_sampled_pages_skipped = None
 
     # ------------------------------------------------------------------
     # Ingest
@@ -488,6 +507,9 @@ class MithriLogSystem:
         workers: int = 1,
         analyze: bool = False,
         trace_context: Optional[TraceContext] = None,
+        within_pages: Optional[Sequence[int]] = None,
+        sample_fraction: Optional[float] = None,
+        sample_seed: int = 0,
     ) -> QueryOutcome:
         """Run one or more concurrent queries end to end.
 
@@ -515,6 +537,18 @@ class MithriLogSystem:
         ``trace_context`` threads an existing trace id through (a cluster
         scatter-gather passes per-shard children); left ``None``, the
         system mints a fresh ``q<n>`` id for the query's spans.
+
+        ``within_pages`` restricts the scan to the intersection of the
+        index candidates and the given page addresses — the incremental
+        hook standing queries use to evaluate only newly sealed pages.
+
+        ``sample_fraction`` runs an *approximate* scan: only the seeded
+        deterministic fraction of candidate pages (keyed on
+        ``(sample_seed, template fingerprint, page id)``, so results are
+        worker-count- and backend-invariant) is read, and the outcome
+        carries one :class:`repro.stream.sampling.SampleEstimate` per
+        query scaling the sampled count back to the full candidate set
+        with a confidence interval.
         """
         if not queries:
             raise QueryError("query() needs at least one query")
@@ -544,7 +578,26 @@ class MithriLogSystem:
         else:
             candidates = list(self.index.data_pages)
             stats.index_full_scan = True
+        if within_pages is not None:
+            wanted = set(within_pages)
+            candidates = [page for page in candidates if page in wanted]
         stats.candidate_pages = len(candidates)
+        sample_pool = 0
+        if sample_fraction is not None:
+            # deterministic subset, chosen in the parent before any
+            # executor fan-out — see repro.stream.sampling
+            fingerprint = template_fingerprint(str(self._union(queries)))
+            sample_pool = len(candidates)
+            candidates = sample_pages(
+                candidates, sample_seed, fingerprint, sample_fraction
+            )
+            stats.sample_fraction = sample_fraction
+            stats.pages_sampled = len(candidates)
+            if self._m_sampled_scans is not None:
+                self._m_sampled_scans.inc()
+                self._m_sampled_pages_skipped.inc(
+                    sample_pool - len(candidates)
+                )
         if newest_first:
             candidates = list(reversed(candidates))
 
@@ -614,6 +667,23 @@ class MithriLogSystem:
                 partitions=partitions,
             )
         self.clock.advance(stats.elapsed_s)
+        if sample_fraction is not None:
+            mode = "sampled"
+        elif within_pages is not None:
+            mode = "standing"
+        else:
+            mode = "exact"
+        estimates = None
+        if sample_fraction is not None:
+            estimates = [
+                estimate_matches(
+                    per_query[i],
+                    pages_scanned=stats.pages_sampled,
+                    pages_total=sample_pool,
+                    fraction=sample_fraction,
+                )
+                for i in range(len(queries))
+            ]
         if self.journal is not None:
             for i, query_obj in enumerate(queries):
                 self.journal.observe_direct(
@@ -623,6 +693,8 @@ class MithriLogSystem:
                     stage=stats.bottleneck,
                     completed_at_s=self.clock.now,
                     batch_size=len(queries),
+                    mode=mode,
+                    sample_fraction=sample_fraction,
                 )
         if self.monitor is not None:
             for _ in queries:
@@ -649,7 +721,7 @@ class MithriLogSystem:
                 self._m_explain.inc(mode="analyze")
         return QueryOutcome(
             matched_lines=matched, per_query_counts=per_query, stats=stats,
-            explain=report,
+            explain=report, estimates=estimates,
         )
 
     @staticmethod

@@ -12,15 +12,26 @@ complete.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.core.query import Query
 from repro.errors import IngestError
+from repro.obs.metrics import get_registry
 from repro.system.mithrilog import MithriLogSystem, QueryOutcome
+
+#: A flush listener: ``(lines_flushed, now_s)`` after each persist.
+FlushListener = Callable[[int, float], None]
 
 
 class StreamingIngestor:
-    """Accepts log lines incrementally and persists them in batches."""
+    """Accepts log lines incrementally and persists them in batches.
+
+    ``flush_listeners`` is the hook the standing-query registry
+    (:meth:`repro.stream.standing.StandingQueryRegistry.attach`) rides:
+    every listener is called as ``listener(lines_flushed, now_s)``
+    right after a non-empty flush persists its batch, which is what
+    makes stream evaluation incremental — new pages only, no polling.
+    """
 
     def __init__(
         self,
@@ -50,6 +61,20 @@ class StreamingIngestor:
         self._last_snapshot_at: Optional[float] = None
         self.lines_ingested = 0
         self.lines_shed = 0
+        self.flush_listeners: list[FlushListener] = []
+        registry = get_registry()
+        if registry is not None:
+            self._m_pending = registry.gauge(
+                "mithrilog_ingest_pending_lines",
+                "Lines buffered in the arrival tail, not yet persisted",
+            )
+            self._m_overflow_shed = registry.counter(
+                "mithrilog_ingest_overflow_shed_total",
+                "Arriving lines dropped by the bounded-buffer shed policy",
+            )
+        else:
+            self._m_pending = None
+            self._m_overflow_shed = None
 
     # -- arrival ---------------------------------------------------------
 
@@ -78,6 +103,8 @@ class StreamingIngestor:
         ):
             if self.overflow == "shed":
                 self.lines_shed += 1
+                if self._m_overflow_shed is not None:
+                    self._m_overflow_shed.inc()
                 return
             raise IngestError(
                 f"pending buffer full ({len(self._pending)} lines >= "
@@ -86,6 +113,8 @@ class StreamingIngestor:
             )
         self._pending.append(line)
         self._pending_stamps.append(timestamp)
+        if self._m_pending is not None:
+            self._m_pending.set(len(self._pending))
         if len(self._pending) >= self.batch_lines:
             self.flush()
 
@@ -110,6 +139,8 @@ class StreamingIngestor:
         have_stamps = all(s is not None for s in stamps)
         self.system.ingest(lines, timestamps=stamps if have_stamps else None)
         self.lines_ingested += len(lines)
+        if self._m_pending is not None:
+            self._m_pending.set(0)
         if have_stamps and self.snapshot_every_s is not None:
             latest = stamps[-1]
             if (
@@ -118,6 +149,8 @@ class StreamingIngestor:
             ):
                 self.system.index.flush(timestamp=latest)
                 self._last_snapshot_at = latest
+        for listener in self.flush_listeners:
+            listener(len(lines), self.system.clock.now)
         return len(lines)
 
     # -- querying mid-stream ----------------------------------------------

@@ -80,6 +80,24 @@ class TestIngestAndQuery:
         out = capsys.readouterr().out
         assert "more (raise --limit" in out
 
+    def test_query_sample_fraction(self, store, capsys):
+        code = main(
+            ["query", "--store", str(store), "--sample-fraction", "0.5",
+             "--sample-seed", "7", "KERNEL"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sampled scan:" in out
+        assert "estimated" in out and "CI" in out
+
+    def test_query_sample_fraction_rejects_stop_after(self, store, capsys):
+        code = main(
+            ["query", "--store", str(store), "--sample-fraction", "0.5",
+             "--stop-after", "3", "KERNEL"]
+        )
+        assert code == 2
+        assert "cannot be combined" in capsys.readouterr().err
+
     def test_stats(self, store, capsys):
         code = main(["stats", "--store", str(store)])
         assert code == 0
@@ -367,6 +385,7 @@ class TestWorkload:
         assert "hot templates:" in out
         assert "by tenant:" in out
         assert "by stage:" in out
+        assert "by mode:" in out
 
     def test_mine_window_and_drift(self, journal_path, capsys):
         code = main(

@@ -2,8 +2,8 @@
 
 The load-bearing property, pinned with hypothesis over randomized
 service workloads: every tenant's journal tallies conserve —
-``ok + rejected + shed + timed_out == submitted`` — and the exported
-payload passes the same validator CI runs over artifacts.
+``ok + rejected + shed + timed_out + approximated == submitted`` — and
+the exported payload passes the same validator CI runs over artifacts.
 """
 
 import json
@@ -47,10 +47,12 @@ def pool(corpus):
     return query_pool(corpus, max_queries=10, num_pairs=3)
 
 
-def service_run(corpus, tenants, requests, journal):
+def service_run(corpus, tenants, requests, journal, max_backlog=6):
     system = MithriLogSystem()
     system.ingest(corpus)
-    service = QueryService(system, tenants, max_backlog=6, journal=journal)
+    service = QueryService(
+        system, tenants, max_backlog=max_backlog, journal=journal
+    )
     return service.run(requests)
 
 
@@ -289,6 +291,20 @@ class TestSerialisation:
                 lambda p: p["tenants"]["_direct"].__setitem__("ok", 3),
                 "tally",
             ),
+            (
+                lambda p: p["records"][0].__setitem__("mode", "psychic"),
+                "unknown execution mode",
+            ),
+            (
+                lambda p: p["records"][0].__setitem__(
+                    "outcome", "approximated"
+                ),
+                "must be sampled",
+            ),
+            (
+                lambda p: p["records"][0].__setitem__("mode", "sampled"),
+                "sample_fraction",
+            ),
         ],
     )
     def test_validator_catches_corruption(self, mutate, fragment):
@@ -351,6 +367,55 @@ class TestReplay:
         )
         assert sig(first) == sig(second)
 
+    def overload_requests(self, pool, fraction=0.2):
+        """A burst dense enough to trip the degrade-to-sampled path."""
+        return [
+            Request(
+                tenant=f"tenant{i % 3}",
+                query=pool[i % len(pool)],
+                arrival_s=i * 1e-5,
+                sample_fraction=fraction,
+            )
+            for i in range(40)
+        ]
+
+    def test_replay_preserves_the_sampled_mode(self, corpus, tenants, pool):
+        journal = QueryJournal()
+        requests = self.overload_requests(pool)
+        service_run(corpus, tenants, requests, journal, max_backlog=4)
+        sampled = [r for r in journal if r.mode == "sampled"]
+        assert sampled, "overload burst produced no approximated answers"
+        assert all(r.outcome == "approximated" for r in sampled)
+        assert all(r.sample_fraction == 0.2 for r in sampled)
+        # the opt-in survives even on records that settled exactly, so a
+        # replayed workload re-offers the same eligibility
+        replayed = replay_requests(journal)
+        assert len(replayed) == len(requests)
+        assert all(r.sample_fraction == 0.2 for r in replayed)
+
+    def test_sampled_replay_served_identically(self, corpus, tenants, pool):
+        journal = QueryJournal()
+        first = service_run(
+            corpus,
+            tenants,
+            self.overload_requests(pool),
+            journal,
+            max_backlog=4,
+        )
+        assert first.approximated > 0
+        second = service_run(
+            corpus,
+            tenants,
+            replay_requests(journal),
+            QueryJournal(),
+            max_backlog=4,
+        )
+        sig = lambda rep: tuple(  # noqa: E731
+            (r.request.tenant, r.outcome.value, round(r.latency_s, 12))
+            for r in rep.responses
+        )
+        assert sig(first) == sig(second)
+
     def test_window_filter(self):
         journal = QueryJournal()
         journal.begin_window("a")
@@ -374,6 +439,7 @@ class TestConservationProperty:
             st.integers(min_value=0, max_value=2),  # priority
             st.sampled_from([None, 0.002, 0.05]),  # deadline_s
             st.floats(min_value=0.0, max_value=0.02, allow_nan=False),
+            st.sampled_from([None, 0.2, 0.5]),  # sample_fraction opt-in
         ),
         min_size=1,
         max_size=20,
@@ -393,11 +459,12 @@ class TestConservationProperty:
                 priority=p,
                 deadline_s=d,
                 arrival_s=a,
+                sample_fraction=f,
             )
-            for t, q, p, d, a in specs
+            for t, q, p, d, a, f in specs
         ]
         journal = QueryJournal()
-        service_run(corpus, tenants, requests, journal)
+        service_run(corpus, tenants, requests, journal, max_backlog=3)
         assert journal.conserved()
         for tally in journal.tenant_tallies().values():
             assert (
@@ -405,6 +472,56 @@ class TestConservationProperty:
                 + tally["rejected"]
                 + tally["shed"]
                 + tally["timed_out"]
+                + tally["approximated"]
                 == tally["submitted"]
             )
+        assert validate_journal_payload(journal.to_payload()) == []
+
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        burst=st.integers(min_value=20, max_value=40),
+        fraction=st.sampled_from([0.1, 0.3]),
+    )
+    def test_conserves_under_degrading_overload(
+        self, corpus, tenants, pool, burst, fraction
+    ):
+        """A dense opted-in burst exercises the approximated outcome and
+        conservation must still close the books."""
+        requests = [
+            Request(
+                tenant=f"tenant{i % 3}",
+                query=pool[i % len(pool)],
+                arrival_s=i * 1e-5,
+                sample_fraction=fraction,
+            )
+            for i in range(burst)
+        ]
+        journal = QueryJournal()
+        report = service_run(corpus, tenants, requests, journal, max_backlog=3)
+        assert report.approximated > 0
+        assert journal.conserved()
+        tally = {
+            k: sum(t[k] for t in journal.tenant_tallies().values())
+            for k in (
+                "submitted",
+                "ok",
+                "rejected",
+                "shed",
+                "timed_out",
+                "approximated",
+            )
+        }
+        assert tally["approximated"] == report.approximated
+        assert (
+            tally["ok"]
+            + tally["rejected"]
+            + tally["shed"]
+            + tally["timed_out"]
+            + tally["approximated"]
+            == tally["submitted"]
+        )
         assert validate_journal_payload(journal.to_payload()) == []

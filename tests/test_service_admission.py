@@ -212,6 +212,98 @@ class TestDeadlines:
         assert gate.expire_deadlines(1e9) == []
 
 
+class TestApproximateAdmission:
+    """The degrade-instead-of-shed path for sample_fraction opt-ins."""
+
+    def two_tenant_gate(self, approx_on_overload=True):
+        return AdmissionController(
+            [
+                TenantConfig(name="t0", queue_limit=16),
+                TenantConfig(name="t1", queue_limit=16),
+            ],
+            max_backlog=2,
+            approx_on_overload=approx_on_overload,
+        )
+
+    def opted(self, tenant="t0", priority=0):
+        return Request(
+            tenant=tenant,
+            query=QUERY,
+            priority=priority,
+            sample_fraction=0.25,
+        )
+
+    def test_opted_in_newcomer_degrades_instead_of_shedding(self):
+        gate = self.two_tenant_gate()
+        gate.offer(make_request(tenant="t0", priority=1), 0.0, 0.0)
+        gate.offer(make_request(tenant="t1", priority=1), 0.0, 0.0)
+        # lowest priority in the building: would be shed at the door,
+        # but the opt-in converts that into a queued sampled pass
+        refusal, shed = gate.offer(self.opted(priority=0), 1.0, 1.0)
+        assert refusal is None and shed == []
+        assert gate.total_backlog == 3  # grows past max_backlog
+        assert gate.degraded_to_sample == 1
+        queued = [q for q in gate.pending() if q.approx]
+        assert len(queued) == 1
+        assert queued[0].request.sample_fraction == 0.25
+
+    def test_opted_in_victim_gets_one_reprieve(self):
+        gate = self.two_tenant_gate()
+        gate.offer(self.opted(tenant="t0", priority=0), 0.0, 0.0)
+        gate.offer(make_request(tenant="t1", priority=1), 0.0, 0.0)
+        refusal, shed = gate.offer(
+            make_request(tenant="t1", priority=2), 1.0, 1.0
+        )
+        # the would-be victim stays queued, marked for a sampled pass
+        assert refusal is None and shed == []
+        assert gate.total_backlog == 3
+        victim = gate.head("t0")
+        assert victim.approx
+        assert gate.degraded_to_sample == 1
+
+    def test_second_eviction_is_genuine(self):
+        gate = self.two_tenant_gate()
+        gate.offer(self.opted(tenant="t0", priority=0), 0.0, 0.0)
+        gate.offer(make_request(tenant="t1", priority=1), 0.0, 0.0)
+        gate.offer(make_request(tenant="t1", priority=2), 1.0, 1.0)
+        assert gate.head("t0").approx  # reprieve spent
+        refusal, shed = gate.offer(
+            make_request(tenant="t1", priority=2), 2.0, 2.0
+        )
+        assert refusal is None
+        assert len(shed) == 1
+        assert shed[0].outcome is Outcome.SHED
+        assert shed[0].request.tenant == "t0"
+
+    def test_non_opted_requests_shed_as_before(self):
+        gate = self.two_tenant_gate()
+        gate.offer(make_request(tenant="t0", priority=1), 0.0, 0.0)
+        gate.offer(make_request(tenant="t1", priority=1), 0.0, 0.0)
+        refusal, shed = gate.offer(
+            make_request(tenant="t0", priority=0), 1.0, 1.0
+        )
+        assert refusal is not None
+        assert refusal.outcome is Outcome.SHED
+        assert shed == []
+
+    def test_opt_out_flag_restores_pure_shedding(self):
+        gate = self.two_tenant_gate(approx_on_overload=False)
+        gate.offer(make_request(tenant="t0", priority=1), 0.0, 0.0)
+        gate.offer(make_request(tenant="t1", priority=1), 0.0, 0.0)
+        refusal, _ = gate.offer(self.opted(priority=0), 1.0, 1.0)
+        assert refusal is not None
+        assert refusal.outcome is Outcome.SHED
+        assert gate.degraded_to_sample == 0
+
+    def test_sample_key_distinguishes_degraded_requests(self):
+        gate = self.two_tenant_gate()
+        gate.offer(self.opted(tenant="t0"), 0.0, 0.0)
+        exact = gate.head("t0")
+        assert exact.sample_key == (False, None)
+        exact.approx = True
+        assert exact.sample_key == (True, 0.25)
+
+
 class TestTenantStats:
     def test_conservation_cross_checks_intake(self):
         stats = TenantStats()

@@ -113,6 +113,77 @@ class TestWeightedFairness:
         assert sched.virtual_work == {}
 
 
+class TestSampledPassQuarantine:
+    """Exact and sampled work never share an accelerator pass: a pass
+    runs one scan mode, so a degraded head is quarantined from exact
+    members (and vice versa) while same-mode heads still pack across
+    tenants."""
+
+    def two_tenant_gate(self):
+        return AdmissionController(
+            [
+                TenantConfig(name="a", queue_limit=16),
+                TenantConfig(name="b", queue_limit=16),
+            ]
+        )
+
+    def offer_opted(self, gate, tenant, fraction=0.25):
+        refusal, _ = gate.offer(
+            Request(
+                tenant=tenant,
+                query=parse_query("alpha"),
+                sample_fraction=fraction,
+            ),
+            0.0,
+            0.0,
+        )
+        assert refusal is None
+
+    def test_degraded_head_excluded_from_an_exact_pass(self):
+        gate = self.two_tenant_gate()
+        fill(gate, "a", 1)
+        self.offer_opted(gate, "b")
+        gate.head("b").approx = True  # as the overload path would mark it
+        sched = scheduler()
+        first = sched.next_batch(gate)
+        assert len(first) == 1
+        second = sched.next_batch(gate)
+        assert len(second) == 1
+        # one pass each, opposite modes
+        assert {first.approx, second.approx} == {False, True}
+
+    def test_same_mode_heads_pack_across_tenants(self):
+        gate = self.two_tenant_gate()
+        self.offer_opted(gate, "a")
+        self.offer_opted(gate, "b")
+        for tenant in ("a", "b"):
+            gate.head(tenant).approx = True
+        batch = scheduler().next_batch(gate)
+        assert len(batch) == 2
+        assert batch.approx
+        assert batch.sample_fraction == 0.25
+        assert sorted(batch.tenants) == ["a", "b"]
+
+    def test_different_fractions_do_not_pack(self):
+        gate = self.two_tenant_gate()
+        self.offer_opted(gate, "a", fraction=0.25)
+        self.offer_opted(gate, "b", fraction=0.5)
+        for tenant in ("a", "b"):
+            gate.head(tenant).approx = True
+        sched = scheduler()
+        first = sched.next_batch(gate)
+        second = sched.next_batch(gate)
+        assert len(first) == 1 and len(second) == 1
+        assert {first.sample_fraction, second.sample_fraction} == {0.25, 0.5}
+
+    def test_exact_batch_reports_no_fraction(self):
+        gate = self.two_tenant_gate()
+        fill(gate, "a", 2)
+        batch = scheduler().next_batch(gate)
+        assert not batch.approx
+        assert batch.sample_fraction is None
+
+
 class TestScheduledRunAttribution:
     """Satellite: per-query queue/service times on the system scheduler."""
 

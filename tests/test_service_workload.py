@@ -213,6 +213,18 @@ class TestServiceEndToEnd:
         assert report.conserved()
         assert report.queries_served > 0
 
+    def test_cluster_backend_refuses_approximate_mode(self, corpus, tenants):
+        # sampled passes need the single-system sampled scan path; the
+        # scatter-gather backend silently defaults the mode off, and
+        # asking for it explicitly is a loud error
+        from repro.system.cluster import MithriLogCluster
+
+        cluster = MithriLogCluster(num_shards=2)
+        cluster.ingest(corpus)
+        assert not QueryService(cluster, tenants).admission.approx_on_overload
+        with pytest.raises(QueryError):
+            QueryService(cluster, tenants, approx_on_overload=True)
+
 
 class TestDeterminismProperties:
     # strategies kept small: each example executes real accelerator passes

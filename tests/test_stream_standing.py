@@ -1,0 +1,248 @@
+"""Standing queries: incremental evaluation, windows, threshold alerts.
+
+The registry watches the future, not the past: pages sealed before a
+query registers never count, and each flush is evaluated exactly once
+over only its newly sealed pages.
+"""
+
+import pytest
+
+from repro.core.query import parse_query
+from repro.errors import QueryError
+from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import AlertState
+from repro.stream import (
+    StandingQuery,
+    StandingQueryRegistry,
+    Threshold,
+    WindowSpec,
+    validate_stream_status,
+)
+from repro.system.mithrilog import MithriLogSystem
+from repro.system.streaming import StreamingIngestor
+
+CLEAN = [b"svc worker-%d INFO served req=%d" % (i % 4, i) for i in range(600)]
+NOISY = [b"svc worker-%d ERROR backend timeout req=%d" % (i % 4, i) for i in range(600)]
+
+
+def fresh(batch_lines=100, interval_s=0.0005):
+    system = MithriLogSystem(seed=0)
+    ingestor = StreamingIngestor(system, batch_lines=batch_lines)
+    registry = StandingQueryRegistry(system, interval_s=interval_s)
+    registry.attach(ingestor)
+    return system, ingestor, registry
+
+
+def stream(ingestor, lines):
+    with ingestor:
+        for line in lines:
+            ingestor.append(line)
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        _, _, registry = fresh()
+        registry.register(StandingQuery(name="q", query=parse_query("ERROR")))
+        with pytest.raises(QueryError):
+            registry.register(
+                StandingQuery(name="q", query=parse_query("WARN"))
+            )
+
+    def test_unknown_query_lookups_rejected(self):
+        _, _, registry = fresh()
+        with pytest.raises(QueryError):
+            registry.aggregator("ghost")
+        with pytest.raises(QueryError):
+            registry.alert_state("ghost")
+
+    def test_nameless_and_aggregate_less_queries_rejected(self):
+        with pytest.raises(QueryError):
+            StandingQuery(name="", query=parse_query("x"))
+        with pytest.raises(QueryError):
+            StandingQuery(name="q", query=parse_query("x"), aggregates=())
+        with pytest.raises(QueryError):
+            StandingQuery(
+                name="q", query=parse_query("x"), aggregates=("median",)
+            )
+
+    def test_text_queries_coerced_at_the_front_door(self):
+        # the same str/bytes coercion every other front door offers
+        standing = StandingQuery(name="q", query="ERROR AND backend")
+        assert str(standing.query) == str(parse_query("ERROR AND backend"))
+        assert str(StandingQuery(name="b", query=b"ERROR").query) == str(
+            parse_query("ERROR")
+        )
+        with pytest.raises(QueryError):
+            StandingQuery(name="q", query=42)
+
+    def test_registration_order_preserved(self):
+        _, _, registry = fresh()
+        for name in ("c", "a", "b"):
+            registry.register(
+                StandingQuery(name=name, query=parse_query("x"))
+            )
+        assert [q.name for q in registry.standing] == ["c", "a", "b"]
+
+
+class TestThresholdValidation:
+    def test_bad_aggregate_rejected(self):
+        with pytest.raises(QueryError):
+            Threshold(value=1.0, aggregate="p99")
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(QueryError):
+            Threshold(value=1.0, op=">")
+
+    def test_breach_directions(self):
+        assert Threshold(value=10.0, op=">=").breached(10.0)
+        assert not Threshold(value=10.0, op=">=").breached(9.9)
+        assert Threshold(value=10.0, op="<=").breached(10.0)
+        assert not Threshold(value=10.0, op="<=").breached(10.1)
+
+    def test_round_trip(self):
+        threshold = Threshold(value=40.0, aggregate="rate", op="<=")
+        assert Threshold.from_dict(threshold.to_dict()) == threshold
+        with pytest.raises(QueryError):
+            Threshold.from_dict({"value": 1.0, "severity": "page"})
+
+
+class TestIncrementalEvaluation:
+    def test_history_is_not_backfilled(self):
+        system = MithriLogSystem(seed=0)
+        system.ingest(NOISY[:300])  # matching history, sealed pre-registration
+        ingestor = StreamingIngestor(system, batch_lines=100)
+        registry = StandingQueryRegistry(system)
+        registry.attach(ingestor)
+        registry.register(
+            StandingQuery(name="errors", query=parse_query("ERROR"))
+        )
+        stream(ingestor, CLEAN[:200])  # nothing in the stream matches
+        agg = registry.aggregator("errors")
+        assert agg.matches_total == 0
+        # the history is still there for batch queries — only the
+        # standing evaluation skips it
+        assert system.query(parse_query("ERROR")).per_query_counts[0] == 300
+
+    def test_matches_track_streamed_lines_exactly(self):
+        _, ingestor, registry = fresh()
+        registry.register(
+            StandingQuery(name="errors", query=parse_query("ERROR"))
+        )
+        mixed = CLEAN[:150] + NOISY[:250] + CLEAN[150:200]
+        stream(ingestor, mixed)
+        assert registry.aggregator("errors").matches_total == 250
+
+    def test_each_flush_evaluates_once_per_query(self):
+        _, ingestor, registry = fresh(batch_lines=100)
+        registry.register(StandingQuery(name="a", query=parse_query("req")))
+        registry.register(StandingQuery(name="b", query=parse_query("INFO")))
+        stream(ingestor, CLEAN[:300])  # 3 full batches, no ragged tail
+        assert registry.aggregator("a").evaluations == 3
+        assert registry.aggregator("b").evaluations == 3
+        assert registry.evaluations == 6
+
+    def test_evaluate_new_pages_reports_the_page_delta(self):
+        system, ingestor, registry = fresh()
+        registry.register(StandingQuery(name="q", query=parse_query("req")))
+        stream(ingestor, CLEAN[:200])
+        before = len(system.index.data_pages)
+        assert before > 0
+        # no new pages sealed since the flush listener already ran
+        assert registry.evaluate_new_pages() == 0
+
+    def test_distinct_templates_counts_shapes_not_lines(self):
+        _, ingestor, registry = fresh()
+        registry.register(
+            StandingQuery(
+                name="errors",
+                query=parse_query("ERROR"),
+                window=WindowSpec(kind="sliding", width_s=10.0),
+            )
+        )
+        stream(ingestor, NOISY[:200])
+        agg = registry.aggregator("errors")
+        distinct = agg.latest("distinct_templates")
+        # 200 matched lines, but they all share one template shape
+        assert distinct is not None
+        assert 1 <= distinct < 10
+
+
+class TestThresholdAlerts:
+    def standing_error_watch(self):
+        return StandingQuery(
+            name="errors",
+            query=parse_query("ERROR"),
+            window=WindowSpec(kind="sliding", width_s=1.0),
+            threshold=Threshold(value=50.0, aggregate="count", op=">="),
+        )
+
+    def test_clean_stream_never_fires(self):
+        _, ingestor, registry = fresh()
+        registry.register(self.standing_error_watch())
+        stream(ingestor, CLEAN)
+        assert registry.alert_state("errors") is AlertState.OK
+        assert registry.monitor.alerts == []
+
+    def test_burst_fires_the_alert(self):
+        _, ingestor, registry = fresh()
+        registry.register(self.standing_error_watch())
+        stream(ingestor, CLEAN[:200] + NOISY)
+        assert registry.alert_state("errors") is AlertState.FIRING
+        assert any(
+            alert.slo == "stream-errors" for alert in registry.monitor.alerts
+        )
+
+    def test_thresholdless_query_is_always_ok(self):
+        _, ingestor, registry = fresh()
+        registry.register(StandingQuery(name="shape", query=parse_query("req")))
+        stream(ingestor, NOISY)
+        assert registry.alert_state("shape") is AlertState.OK
+
+    def test_flight_recorder_snapshots_at_fire_time(self, tmp_path):
+        system, ingestor, registry = fresh()
+        registry.register(self.standing_error_watch())
+        recorder = FlightRecorder(
+            registry.monitor, system=system, out_dir=tmp_path
+        )
+        stream(ingestor, CLEAN[:200] + NOISY)
+        assert registry.alert_state("errors") is AlertState.FIRING
+        assert recorder.written
+        assert all(path.exists() for path in recorder.written)
+
+
+class TestStatusPayload:
+    def test_snapshot_validates(self):
+        _, ingestor, registry = fresh()
+        registry.register(
+            StandingQuery(
+                name="errors",
+                query=parse_query("ERROR"),
+                threshold=Threshold(value=50.0),
+            )
+        )
+        registry.register(StandingQuery(name="shape", query=parse_query("req")))
+        stream(ingestor, CLEAN[:200] + NOISY[:300])
+        payload = registry.status_payload()
+        assert validate_stream_status(payload) == []
+        assert payload["evaluations"] == registry.evaluations
+        assert payload["pages_seen"] > 0
+        by_name = {
+            entry["definition"]["name"]: entry for entry in payload["queries"]
+        }
+        assert "alerts" in by_name["errors"]
+        assert "alerts" not in by_name["shape"]
+
+    def test_deterministic_across_runs(self):
+        def run():
+            _, ingestor, registry = fresh()
+            registry.register(
+                StandingQuery(
+                    name="errors",
+                    query=parse_query("ERROR"),
+                    threshold=Threshold(value=50.0),
+                )
+            )
+            stream(ingestor, CLEAN[:100] + NOISY[:400])
+            return registry.status_payload()
+
+        assert run() == run()

@@ -6,6 +6,7 @@ from repro.baselines.grep import grep_lines
 from repro.core.query import parse_query
 from repro.datasets.synthetic import generator_for
 from repro.errors import IngestError
+from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.system.mithrilog import MithriLogSystem
 from repro.system.streaming import StreamingIngestor
 
@@ -140,3 +141,55 @@ class TestPendingCap:
         ingestor.extend(corpus[:500])
         assert ingestor.lines_shed == 0
         assert ingestor.pending_lines < 50
+
+
+class TestBackpressureMetrics:
+    """The arrival buffer exports its state: pending-depth gauge and
+    overflow-shed counter, both registered at construction so dashboards
+    see zeros instead of holes before the first event."""
+
+    def test_pending_gauge_tracks_the_buffer(self, corpus):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            ingestor = StreamingIngestor(MithriLogSystem(), batch_lines=100)
+            gauge = registry.get("mithrilog_ingest_pending_lines")
+            assert gauge.value() == 0.0
+            ingestor.extend(corpus[:30])
+            assert gauge.value() == 30.0
+            ingestor.extend(corpus[30:120])  # crosses one auto-flush
+            assert gauge.value() == float(ingestor.pending_lines) == 20.0
+            ingestor.flush()
+            assert gauge.value() == 0.0
+
+    def test_overflow_shed_counter(self, corpus):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            ingestor = StreamingIngestor(
+                MithriLogSystem(),
+                batch_lines=512,
+                max_pending_lines=5,
+                overflow="shed",
+            )
+            counter = registry.get("mithrilog_ingest_overflow_shed_total")
+            assert counter.value() == 0.0
+            ingestor.extend(corpus[:20])
+            assert counter.value() == 15.0
+            assert counter.value() == float(ingestor.lines_shed)
+
+    def test_raise_policy_sheds_nothing(self, corpus):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            ingestor = StreamingIngestor(
+                MithriLogSystem(), batch_lines=512, max_pending_lines=3
+            )
+            ingestor.extend(corpus[:3])
+            with pytest.raises(IngestError):
+                ingestor.append(corpus[3])
+            counter = registry.get("mithrilog_ingest_overflow_shed_total")
+            assert counter.value() == 0.0
+
+    def test_disabled_registry_keeps_ingest_working(self, corpus):
+        with use_registry(None):
+            ingestor = StreamingIngestor(MithriLogSystem(), batch_lines=100)
+            ingestor.extend(corpus[:250])
+            assert ingestor.lines_ingested == 200
